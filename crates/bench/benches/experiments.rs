@@ -1,0 +1,163 @@
+//! Criterion benches: one group per reproduced table/figure (E1–E12),
+//! each timing a smoke-scale kernel of that experiment. `cargo bench`
+//! therefore exercises every experiment's code path and reports simulator
+//! throughput; the full-scale numbers come from the `e*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sst_core::SstConfig;
+use sst_mem::MemConfig;
+use sst_sim::area::model_area;
+use sst_sim::{CmpSystem, CoreModel, System};
+use sst_workloads::{Scale, Workload};
+
+const MAX: u64 = 5_000_000_000;
+
+fn measure(model: CoreModel, name: &str) -> f64 {
+    let w = Workload::by_name(name, Scale::Smoke, 1).expect("known");
+    System::new(model, &w)
+        .without_cosim()
+        .run_checked(MAX)
+        .expect("completes")
+        .measured_ipc()
+}
+
+fn small(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default().sample_size(10)
+}
+
+fn e1_configs(c: &mut Criterion) {
+    // Table construction is trivial; bench the config -> area path used by
+    // the table.
+    c.bench_function("e1_configs", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for m in CoreModel::lineup() {
+                total += model_area(&m).total_bits();
+            }
+            total
+        })
+    });
+}
+
+fn e2_workload_characterization(c: &mut Criterion) {
+    c.bench_function("e2_workloads_inorder_gzip", |b| {
+        b.iter(|| measure(CoreModel::InOrder, "gzip"))
+    });
+}
+
+fn e3_speedup_vs_inorder(c: &mut Criterion) {
+    c.bench_function("e3_sst_erp", |b| b.iter(|| measure(CoreModel::Sst, "erp")));
+}
+
+fn e4_vs_ooo(c: &mut Criterion) {
+    c.bench_function("e4_ooo128_erp", |b| {
+        b.iter(|| measure(CoreModel::Ooo128, "erp"))
+    });
+}
+
+fn e5_latency(c: &mut Criterion) {
+    c.bench_function("e5_latency_sst_mcf", |b| {
+        b.iter(|| {
+            let mut cfg = MemConfig::default();
+            cfg.dram.base_cycles = 600;
+            let w = Workload::by_name("mcf", Scale::Smoke, 1).expect("known");
+            System::with_mem(CoreModel::Sst, &w, &cfg)
+                .without_cosim()
+                .run_checked(MAX)
+                .expect("completes")
+                .measured_ipc()
+        })
+    });
+}
+
+fn e6_dq(c: &mut Criterion) {
+    c.bench_function("e6_dq16_oltp", |b| {
+        b.iter(|| {
+            let cfg = SstConfig {
+                dq_entries: 16,
+                ..SstConfig::sst()
+            };
+            measure(CoreModel::CustomSst(cfg), "oltp")
+        })
+    });
+}
+
+fn e7_ckpt(c: &mut Criterion) {
+    c.bench_function("e7_ckpt4_oltp", |b| {
+        b.iter(|| {
+            let cfg = SstConfig {
+                checkpoints: 4,
+                ..SstConfig::sst()
+            };
+            measure(CoreModel::CustomSst(cfg), "oltp")
+        })
+    });
+}
+
+fn e8_stb(c: &mut Criterion) {
+    c.bench_function("e8_stb8_gups", |b| {
+        b.iter(|| {
+            let cfg = SstConfig {
+                stb_entries: 8,
+                ..SstConfig::sst()
+            };
+            measure(CoreModel::CustomSst(cfg), "gups")
+        })
+    });
+}
+
+fn e9_area(c: &mut Criterion) {
+    c.bench_function("e9_area_proxy", |b| {
+        b.iter(|| {
+            CoreModel::lineup()
+                .iter()
+                .map(|m| model_area(m).weighted_cost())
+                .sum::<f64>()
+        })
+    });
+}
+
+fn e10_cmp(c: &mut Criterion) {
+    c.bench_function("e10_cmp4_gzip", |b| {
+        b.iter(|| {
+            CmpSystem::homogeneous(
+                CoreModel::Sst,
+                "gzip",
+                Scale::Smoke,
+                1,
+                4,
+                &MemConfig::default(),
+            )
+            .run(MAX)
+            .throughput_ipc()
+        })
+    });
+}
+
+fn e11_mlp(c: &mut Criterion) {
+    c.bench_function("e11_mlp8_sst", |b| b.iter(|| measure(CoreModel::Sst, "mlp8")));
+}
+
+fn e12_failures(c: &mut Criterion) {
+    c.bench_function("e12_scout_web", |b| b.iter(|| measure(CoreModel::Scout, "web")));
+}
+
+criterion_group! {
+    name = experiments;
+    config = small(&mut Criterion::default());
+    targets =
+        e1_configs,
+        e2_workload_characterization,
+        e3_speedup_vs_inorder,
+        e4_vs_ooo,
+        e5_latency,
+        e6_dq,
+        e7_ckpt,
+        e8_stb,
+        e9_area,
+        e10_cmp,
+        e11_mlp,
+        e12_failures
+}
+criterion_main!(experiments);

@@ -1,0 +1,110 @@
+//! # sst-bench
+//!
+//! The experiment harness: one binary per reproduced table/figure (see
+//! DESIGN.md's per-experiment index E1–E12 and EXPERIMENTS.md for the
+//! recorded results), plus Criterion benches over scaled-down versions.
+//!
+//! Every binary prints its table as markdown and writes
+//! `results/<id>.csv`. Common environment knobs:
+//!
+//! * `SST_SCALE=smoke|full` — workload scale (default `full`).
+//! * `SST_SEED=<u64>` — data-generation seed (default 12345).
+//! * `SST_RESULTS=<dir>` — where `results/` is created (default CWD).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use sst_mem::MemConfig;
+use sst_sim::report::Table;
+use sst_sim::{CoreModel, RunResult, System};
+use sst_workloads::{Scale, Workload};
+
+/// Workload scale from `SST_SCALE` (default full).
+pub fn scale() -> Scale {
+    match std::env::var("SST_SCALE").as_deref() {
+        Ok("smoke") => Scale::Smoke,
+        _ => Scale::Full,
+    }
+}
+
+/// Data seed from `SST_SEED` (default 12345).
+pub fn seed() -> u64 {
+    std::env::var("SST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12345)
+}
+
+/// Output directory root from `SST_RESULTS` (default CWD).
+pub fn out_dir() -> PathBuf {
+    std::env::var("SST_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+/// A generous cycle ceiling (simulations are deterministic; this only
+/// catches model wedges).
+pub const MAX_CYCLES: u64 = 20_000_000_000;
+
+/// Builds a workload at the harness scale/seed.
+pub fn workload(name: &str) -> Workload {
+    Workload::by_name(name, scale(), seed()).expect("known workload")
+}
+
+/// Runs one (model, workload) pair without per-commit co-simulation (the
+/// test suite performs the checked runs; the harness optimizes for sweep
+/// throughput).
+pub fn run(model: CoreModel, name: &str) -> RunResult {
+    let w = workload(name);
+    System::new(model, &w)
+        .without_cosim()
+        .run_checked(MAX_CYCLES)
+        .expect("run completes")
+}
+
+/// Like [`run`] with an explicit memory configuration.
+pub fn run_mem(model: CoreModel, name: &str, mem: &MemConfig) -> RunResult {
+    let w = workload(name);
+    System::with_mem(model, &w, mem)
+        .without_cosim()
+        .run_checked(MAX_CYCLES)
+        .expect("run completes")
+}
+
+/// Prints the experiment banner.
+pub fn banner(id: &str, title: &str, paper_note: &str) {
+    println!("===============================================================");
+    println!("{id}: {title}");
+    println!("  paper target: {paper_note}");
+    println!(
+        "  scale={:?} seed={}",
+        scale(),
+        seed()
+    );
+    println!("===============================================================\n");
+}
+
+/// Prints a table and persists its CSV under `results/<id>.csv`.
+pub fn emit(id: &str, table: &Table) {
+    println!("{}", table.to_markdown());
+    match table.write_csv(out_dir(), id) {
+        Ok(p) => println!("(csv written to {})\n", p.display()),
+        Err(e) => println!("(csv not written: {e})\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        // These read the environment; in the test environment the defaults
+        // apply unless the harness variables are set.
+        let _ = scale();
+        assert!(seed() > 0);
+        let _ = out_dir();
+    }
+}

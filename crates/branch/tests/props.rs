@@ -1,0 +1,100 @@
+//! Property tests for the branch-prediction structures.
+
+use proptest::prelude::*;
+use sst_branch::{Bimodal, Btb, DirectionPredictor, Gshare, ReturnAddressStack, Tournament};
+
+proptest! {
+    /// A 2-bit counter predictor always converges to a constant direction
+    /// within 4 consecutive identical outcomes.
+    #[test]
+    fn bimodal_converges(pc in any::<u64>(), dir in any::<bool>()) {
+        let mut p = Bimodal::new(10);
+        for _ in 0..4 {
+            p.update(pc, dir);
+        }
+        prop_assert_eq!(p.predict(pc), dir);
+    }
+
+    /// Gshare converges on any fixed short repeating pattern.
+    #[test]
+    fn gshare_learns_periodic_patterns(pattern in prop::collection::vec(any::<bool>(), 1..6)) {
+        let mut p = Gshare::new(12);
+        // Train several periods.
+        for _ in 0..200 {
+            for &d in &pattern {
+                p.update(0x4000, d);
+            }
+        }
+        // Measure one period.
+        let mut correct = 0;
+        let mut total = 0;
+        for _ in 0..8 {
+            for &d in &pattern {
+                if p.predict(0x4000) == d {
+                    correct += 1;
+                }
+                p.update(0x4000, d);
+                total += 1;
+            }
+        }
+        prop_assert!(
+            correct * 10 >= total * 9,
+            "gshare should nail period-{} patterns: {}/{}",
+            pattern.len(), correct, total
+        );
+    }
+
+    /// The tournament never does much worse than its better component on a
+    /// biased stream.
+    #[test]
+    fn tournament_tracks_bias(bias_taken in any::<bool>(), pc in any::<u64>()) {
+        let mut t = Tournament::new(10);
+        for _ in 0..32 {
+            t.update(pc, bias_taken);
+        }
+        prop_assert_eq!(t.predict(pc), bias_taken);
+    }
+
+    /// BTB: the most recent update for a PC always wins; lookups never
+    /// return a target stored for a different (non-aliasing) PC.
+    #[test]
+    fn btb_last_write_wins(updates in prop::collection::vec((0u64..1024, any::<u64>()), 1..50)) {
+        let mut btb = Btb::new(4096); // big enough that pcs < 1024*4 never alias
+        let mut last = std::collections::HashMap::new();
+        for &(slot, target) in &updates {
+            let pc = slot * 4;
+            btb.update(pc, target);
+            last.insert(pc, target);
+        }
+        for (&pc, &target) in &last {
+            prop_assert_eq!(btb.lookup(pc), Some(target));
+        }
+    }
+
+    /// RAS: with depth >= number of live frames, call/return nesting is
+    /// predicted perfectly.
+    #[test]
+    fn ras_nesting(depth_order in prop::collection::vec(0u64..1000, 1..8)) {
+        let mut ras = ReturnAddressStack::new(8);
+        for &a in &depth_order {
+            ras.push(a);
+        }
+        for &a in depth_order.iter().rev() {
+            prop_assert_eq!(ras.pop(), Some(a));
+        }
+        prop_assert!(ras.is_empty());
+    }
+
+    /// RAS overflow drops the *oldest* frames only.
+    #[test]
+    fn ras_overflow_keeps_youngest(n in 9usize..20) {
+        let mut ras = ReturnAddressStack::new(8);
+        for i in 0..n as u64 {
+            ras.push(i);
+        }
+        for i in (n as u64 - 8..n as u64).rev() {
+            prop_assert_eq!(ras.pop(), Some(i));
+        }
+        prop_assert_eq!(ras.pop(), None);
+    }
+}

@@ -1,0 +1,1112 @@
+//! The SST pipeline model: ahead strand, deferred strand, epochs.
+
+use std::collections::{HashMap, VecDeque};
+
+use sst_isa::{Inst, Program, Reg};
+use sst_mem::{AccessKind, Cycle, MemSystem};
+use sst_uarch::{
+    execute, extend_load, mem_addr, Checkpoint, Commit, Core, DeferredQueue, DqEntry, FetchedInst,
+    ForwardResult, Frontend, RegImage, Seq, StoreBuffer, StoreEntry,
+};
+
+use crate::{SstConfig, SstStats};
+
+/// One speculative epoch: the instructions executed under one checkpoint.
+struct Epoch {
+    ckpt: Checkpoint,
+    /// Last sequence number belonging to this epoch; `None` while the epoch
+    /// is still open (the ahead strand is appending to it).
+    end_seq: Option<Seq>,
+    /// Commit records of this epoch's completed instructions (unsorted;
+    /// sorted by seq at commit time).
+    log: Vec<Commit>,
+    /// For scout mode: the cycle the originating miss returns (rollback
+    /// point).
+    cause_ready: Cycle,
+}
+
+enum ReplayOutcome {
+    /// Entry executed and removed.
+    Done,
+    /// Entry must stay deferred (data still outstanding / ordering).
+    Stuck,
+    /// Deferred control misprediction: the epoch failed.
+    Fail,
+    /// Memory port exhausted; stop replaying this cycle.
+    PortFull,
+}
+
+/// The scout / execute-ahead / SST core.
+///
+/// See the [crate documentation](crate) for the model summary, and
+/// [`SstConfig`] for the design points.
+pub struct SstCore {
+    cfg: SstConfig,
+    id: usize,
+    frontend: Frontend,
+    /// Live speculative register state (the ahead strand's view).
+    spec: RegImage,
+    epochs: VecDeque<Epoch>,
+    dq: DeferredQueue,
+    stb: StoreBuffer,
+    /// Values produced by replayed deferred instructions, keyed by producer
+    /// sequence: (value, ready cycle).
+    replay_vals: HashMap<Seq, (u64, Cycle)>,
+    seq: Seq,
+    cycle: Cycle,
+    halted: bool,
+    commits: Vec<Commit>,
+    /// Next cycle at which a replay scan could find work.
+    replay_check_at: Cycle,
+    /// Active replay pass: sequence number of the next DQ entry to
+    /// examine. `None` when no pass is in progress.
+    replay_cursor: Option<Seq>,
+    /// Forward-progress guard: after a rollback, the next deferrable miss
+    /// executes in-order (no new episode) so that at least one miss is
+    /// architecturally consumed per rollback. Cleared at the next commit.
+    no_defer: bool,
+    /// Cycle of the last observable progress (watchdog).
+    last_progress: Cycle,
+    /// Debug ring buffer of recent replay decisions.
+    #[doc(hidden)]
+    pub trace: std::collections::VecDeque<String>,
+    /// Statistics.
+    pub stats: SstStats,
+}
+
+impl SstCore {
+    /// Creates a core with index `id` starting at `program.entry`. The
+    /// caller loads the program image into the shared [`MemSystem`].
+    pub fn new(cfg: SstConfig, id: usize, program: &Program) -> SstCore {
+        assert!(cfg.checkpoints >= 1, "need at least one checkpoint");
+        SstCore {
+            frontend: Frontend::new(cfg.frontend, program.entry),
+            dq: DeferredQueue::new(cfg.dq_entries),
+            stb: StoreBuffer::new(cfg.stb_entries),
+            cfg,
+            id,
+            spec: RegImage::new(),
+            epochs: VecDeque::new(),
+            replay_vals: HashMap::new(),
+            seq: 0,
+            cycle: 0,
+            halted: false,
+            commits: Vec::new(),
+            replay_check_at: Cycle::MAX,
+            replay_cursor: None,
+            no_defer: false,
+            last_progress: 0,
+            trace: std::collections::VecDeque::new(),
+            stats: SstStats::default(),
+        }
+    }
+
+    /// Read-only view of the speculative register image (tests).
+    pub fn regs(&self) -> &RegImage {
+        &self.spec
+    }
+
+    /// The frontend (prediction statistics).
+    pub fn frontend(&mut self) -> &mut Frontend {
+        &mut self.frontend
+    }
+
+    /// Deferred-queue high-water mark.
+    pub fn dq_high_water(&self) -> usize {
+        self.dq.high_water
+    }
+
+    /// Store-buffer high-water mark.
+    pub fn stb_high_water(&self) -> usize {
+        self.stb.high_water
+    }
+
+    /// Store-buffer forwarding count.
+    pub fn stb_forwards(&self) -> u64 {
+        self.stb.forwards
+    }
+
+    /// Dumps internal state to stderr (debugging aid for wedge reports).
+    #[doc(hidden)]
+    pub fn dump_debug(&self) {
+        eprintln!(
+            "cycle={} seq={} epochs={:?} dq_len={} stb_len={} check_at={:?} cursor={:?} vals={}",
+            self.cycle,
+            self.seq,
+            self.epochs
+                .iter()
+                .map(|e| (e.ckpt.start_seq, e.end_seq))
+                .collect::<Vec<_>>(),
+            self.dq.len(),
+            self.stb.len(),
+            self.replay_check_at,
+            self.replay_cursor,
+            self.replay_vals.len()
+        );
+        for e in self.dq.as_slice().iter().take(8) {
+            eprintln!(
+                "  dq seq={} pc={:#x} {:?} cap={:?} prod={:?} data_ready={:?} ready_now={}",
+                e.seq, e.pc, e.inst, e.captured, e.producers, e.data_ready_at,
+                self.entry_ready(e, self.cycle)
+            );
+        }
+        for e in self.stb.iter().take(8) {
+            eprintln!("  stb {:?}", e);
+        }
+        for t in &self.trace {
+            eprintln!("  trace {t}");
+        }
+    }
+
+    // ---------------------------------------------------------------- helpers
+
+    fn tr(&mut self, msg: String) {
+        if self.trace.len() > 120 {
+            self.trace.pop_front();
+        }
+        self.trace.push_back(msg);
+    }
+
+    fn in_speculation(&self) -> bool {
+        !self.epochs.is_empty()
+    }
+
+    /// Is the deferred entry executable now (all inputs arrived)?
+    fn entry_ready(&self, e: &DqEntry, now: Cycle) -> bool {
+        if let Some(t) = e.data_ready_at {
+            if t > now {
+                return false;
+            }
+        }
+        for i in 0..2 {
+            if e.captured[i].is_some() {
+                continue;
+            }
+            if let Some(p) = e.producers[i] {
+                match self.replay_vals.get(&p) {
+                    Some(&(_, ready)) if ready <= now => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Source values of a deferred entry (must be `entry_ready`).
+    fn entry_sources(&self, e: &DqEntry) -> (u64, u64) {
+        let get = |i: usize| -> u64 {
+            if let Some(v) = e.captured[i] {
+                v
+            } else if let Some(p) = e.producers[i] {
+                self.replay_vals[&p].0
+            } else {
+                0
+            }
+        };
+        (get(0), get(1))
+    }
+
+    /// Records a finished instruction into the right commit stream.
+    fn log_commit(&mut self, c: Commit) {
+        if let Some(ep) = self.epochs.back_mut() {
+            ep.log.push(c);
+        } else {
+            // An architectural commit: the post-rollback progress guard is
+            // satisfied.
+            self.no_defer = false;
+            self.commits.push(c);
+        }
+        self.last_progress = self.cycle;
+    }
+
+    /// Index of the epoch owning sequence number `seq`.
+    fn epoch_of(&self, seq: Seq) -> usize {
+        self.epochs
+            .iter()
+            .position(|e| {
+                seq >= e.ckpt.start_seq && e.end_seq.map_or(true, |end| seq <= end)
+            })
+            .expect("every speculative seq belongs to an epoch")
+    }
+
+    /// Like [`SstCore::log_commit`] but into the epoch owning `c.seq`
+    /// (replayed instructions may belong to any live epoch).
+    fn log_commit_deferred(&mut self, c: Commit) {
+        let idx = self.epoch_of(c.seq);
+        self.epochs[idx].log.push(c);
+        self.last_progress = self.cycle;
+    }
+
+    /// Delivers a replayed result: the produced-value table, the live
+    /// speculative image, and every younger checkpoint image.
+    fn merge_result(&mut self, rd: Option<Reg>, value: u64, writer: Seq, ready: Cycle) {
+        self.replay_vals.insert(writer, (value, ready));
+        if let Some(rd) = rd {
+            self.spec.merge(rd, value, writer, ready);
+            // The writer-tag rule makes this precise: only images whose NT
+            // owner matches `writer` (i.e. checkpoints younger than the
+            // producing instruction) accept the merge.
+            for ep in self.epochs.iter_mut() {
+                ep.ckpt.image.merge(rd, value, writer, ready);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- commit
+
+    fn try_commit(&mut self, now: Cycle, mem: &mut MemSystem) {
+        if !self.cfg.retain_results {
+            return; // scout epochs end in rollback, never commit
+        }
+        while let Some(oldest) = self.epochs.front() {
+            let bound = oldest.end_seq.unwrap_or(self.seq);
+            // Any DQ entry still owned by this epoch?
+            if self.dq.as_slice().first().is_some_and(|e| e.seq <= bound) {
+                break;
+            }
+            let mut ep = self.epochs.pop_front().expect("checked front");
+            ep.log.sort_by_key(|c| c.seq);
+            debug_assert!(
+                ep.log
+                    .windows(2)
+                    .all(|w| w[1].seq == w[0].seq + 1),
+                "epoch log must be a dense program-order range"
+            );
+            self.commits.append(&mut ep.log);
+            for d in self.stb.drain_through(bound) {
+                mem.access(now, self.id, AccessKind::Store, d.addr);
+                mem.write(d.addr, d.bytes, d.value);
+            }
+            self.stats.epochs_committed += 1;
+            self.last_progress = now;
+            self.replay_check_at = self.replay_check_at.min(now + 1);
+            if self.epochs.is_empty() {
+                debug_assert_eq!(self.spec.nt_count(), 0, "commit to normal leaves no NT");
+                self.replay_vals.clear();
+                self.replay_check_at = Cycle::MAX;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ rollback
+
+    /// Rolls back to the checkpoint of `epochs[idx]`, squashing that epoch
+    /// and everything younger. `idx == 0` is a full rollback.
+    fn rollback_to(&mut self, idx: usize, now: Cycle, scout: bool) {
+        let ck = self.epochs[idx].ckpt.clone();
+        // Results of still-older epochs may not have merged into this
+        // image yet (their entries are still deferred); those NT registers
+        // remain correctly NT after the restore, still owned by live
+        // older-epoch producers.
+        debug_assert!(
+            idx > 0 || ck.image.nt_count() == 0,
+            "a full rollback restores a fully merged image"
+        );
+        self.spec = ck.image;
+        self.seq = ck.start_seq - 1;
+        self.dq.squash_from(ck.start_seq);
+        self.stb.squash_from(ck.start_seq);
+        self.replay_vals.retain(|&sq, _| sq < ck.start_seq);
+        self.epochs.truncate(idx);
+        // The surviving youngest epoch is open again (its closing point
+        // was the squashed checkpoint).
+        if let Some(e) = self.epochs.back_mut() {
+            e.end_seq = None;
+        }
+        self.replay_check_at = if self.dq.is_empty() {
+            Cycle::MAX
+        } else {
+            now + 1
+        };
+        self.replay_cursor = None;
+        self.frontend.redirect(now + 1, ck.pc);
+        if scout {
+            self.stats.scout_rollbacks += 1;
+        } else {
+            self.stats.fail_branch += 1;
+        }
+        self.no_defer = true;
+        self.last_progress = now;
+    }
+
+    // ------------------------------------------------------------- replay
+
+    /// The earliest cycle the entry could become executable, if that time
+    /// is knowable (producers already replayed / fill in flight).
+    fn entry_ready_when(&self, e: &DqEntry) -> Option<Cycle> {
+        let mut when = e.data_ready_at.unwrap_or(0);
+        for i in 0..2 {
+            if e.captured[i].is_some() {
+                continue;
+            }
+            if let Some(p) = e.producers[i] {
+                match self.replay_vals.get(&p) {
+                    Some(&(_, ready)) => when = when.max(ready),
+                    None => return None, // producer itself still deferred
+                }
+            }
+        }
+        Some(when)
+    }
+
+    /// Runs the deferred strand for this cycle: an in-order walk of the
+    /// oldest epoch's DQ segment, matching ROCK's sequential replay.
+    /// Examined entries consume issue slots whether they execute or
+    /// re-defer; an entry whose inputs land within a bypass window stalls
+    /// the strand briefly (back-to-back dependent replay, as real
+    /// pipelines bypass). Returns the issue slots consumed.
+    fn replay(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemSystem,
+        slots: usize,
+        mem_ops: &mut usize,
+    ) -> usize {
+        // An entry whose inputs land within a bypass-distance window is
+        // worth a short in-place stall (back-to-back dependent replay);
+        // anything longer re-defers, as in ROCK.
+        let stall_window: Cycle = self.cfg.bypass_stall_window;
+        // The deferred strand walks the entire DQ: entries of any live
+        // epoch may replay as soon as their inputs arrive (commit order is
+        // still enforced per epoch by try_commit).
+        let bound = Seq::MAX;
+
+        // Start a pass if none is active.
+        let mut cursor = self.replay_cursor.unwrap_or_default();
+
+        // Executing an entry occupies an issue slot; skipping a not-ready
+        // entry is free (a ready-bit scan), so a pass only pays for the
+        // work it actually does plus short bypass stalls.
+        let mut used = 0;
+        while used < slots {
+            // Next entry at or after the cursor within the epoch segment.
+            let Some(e) = self
+                .dq
+                .as_slice()
+                .iter()
+                .find(|e| e.seq >= cursor && e.seq <= bound)
+                .copied()
+            else {
+                // Pass complete: sleep until the earliest knowable enabling
+                // event of any remaining entry. Entries re-deferred early in
+                // a long pass may have become executable meanwhile, so the
+                // wake must consult each entry's own readiness time (not
+                // just future-dated arrivals).
+                self.tr(format!("t{now} pass-done cur={cursor} used={used}"));
+                self.replay_cursor = None;
+                let wake_data = self.dq.next_data_ready().unwrap_or(Cycle::MAX);
+                let wake_entries = self
+                    .dq
+                    .as_slice()
+                    .iter()
+                    .filter(|e| e.seq <= bound)
+                    .filter_map(|e| self.entry_ready_when(e))
+                    .map(|w| w.max(now + 1))
+                    .min()
+                    .unwrap_or(Cycle::MAX);
+                self.replay_check_at = wake_data.min(wake_entries);
+                return used;
+            };
+
+            if self.entry_ready(&e, now) {
+                used += 1;
+                self.stats.replay_issued += 1;
+                self.tr(format!("t{now} exec {}", e.seq));
+                match self.replay_one(&e, now, mem, mem_ops) {
+                    ReplayOutcome::Done => {
+                        self.dq.remove_seq(e.seq);
+                        self.stats.replayed += 1;
+                        self.last_progress = now;
+                        cursor = e.seq + 1;
+                    }
+                    ReplayOutcome::Stuck => {
+                        // Re-deferred (missed again) or ordering: shuffle
+                        // past it.
+                        cursor = e.seq + 1;
+                    }
+                    ReplayOutcome::Fail => {
+                        let idx = self.epoch_of(e.seq);
+                        self.rollback_to(idx, now, false);
+                        return used;
+                    }
+                    ReplayOutcome::PortFull => break,
+                }
+            } else {
+                match self.entry_ready_when(&e) {
+                    Some(when) if when <= now + stall_window => {
+                        // Inputs land imminently: the strand stalls here
+                        // (bypass), occupying a slot.
+                        self.tr(format!("t{now} stall {} when", e.seq));
+                        used += 1;
+                        break;
+                    }
+                    _ => {
+                        // Inputs are far off: re-defer (the entry stays in
+                        // place; the next pass re-examines it).
+                        cursor = e.seq + 1;
+                    }
+                }
+            }
+        }
+
+        self.tr(format!("t{now} pause cur={cursor} used={used}"));
+        self.replay_cursor = Some(cursor);
+        self.replay_check_at = now + 1; // pass still in progress
+        used
+    }
+
+    fn replay_one(
+        &mut self,
+        e: &DqEntry,
+        now: Cycle,
+        mem: &mut MemSystem,
+        mem_ops: &mut usize,
+    ) -> ReplayOutcome {
+        let (s1, s2) = self.entry_sources(e);
+        match e.inst {
+            Inst::Load {
+                width, signed, rd, ..
+            } => {
+                let addr = mem_addr(e.inst, s1);
+                let bytes = width.bytes();
+                let Some(raw) = self.stb.read_overlay(e.seq, addr, bytes, mem.mem()) else {
+                    // An older store is still unresolved; retry next pass.
+                    return ReplayOutcome::Stuck;
+                };
+                let ready = if e.data_ready_at.is_some() {
+                    // A fill was already initiated for this load (at defer
+                    // time, or at an earlier replay attempt) and has now
+                    // returned: consume it via fill forwarding — no new
+                    // cache access, so pathological conflict evictions
+                    // cannot livelock the replay (entry_ready gated on the
+                    // arrival cycle).
+                    now + 2
+                } else {
+                    // First access for this load (its address was unknown
+                    // at defer time).
+                    if *mem_ops >= self.cfg.dcache_ports {
+                        return ReplayOutcome::PortFull;
+                    }
+                    *mem_ops += 1;
+                    let out = mem.access_pc(now, self.id, AccessKind::Load, addr, e.pc);
+                    if out.level == sst_mem::HitLevel::Mem
+                        && out.latency(now) > self.cfg.defer_threshold
+                    {
+                        // Missed off-chip: stay deferred until this fill
+                        // returns.
+                        self.dq.set_data_ready(e.seq, out.ready_at);
+                        self.replay_check_at = self.replay_check_at.min(out.ready_at);
+                        self.stats.redeferred += 1;
+                        return ReplayOutcome::Stuck;
+                    }
+                    out.ready_at.max(now + 1)
+                };
+                let value = extend_load(width, signed, raw);
+                self.merge_result(
+                    if rd.is_zero() { None } else { Some(rd) },
+                    value,
+                    e.seq,
+                    ready,
+                );
+                self.log_commit_deferred(Commit {
+                    seq: e.seq,
+                    pc: e.pc,
+                    inst: e.inst,
+                    reg_write: if rd.is_zero() { None } else { Some((rd, value)) },
+                    store: None,
+                    at: now,
+                });
+                ReplayOutcome::Done
+            }
+            Inst::Store { width, .. } => {
+                let addr = mem_addr(e.inst, s1);
+                let value = s2;
+                self.stb.resolve(e.seq, addr, value);
+                // Warm the line for the eventual commit-time write.
+                mem.access_pc(now, self.id, AccessKind::Prefetch, addr, e.pc);
+                self.log_commit_deferred(Commit {
+                    seq: e.seq,
+                    pc: e.pc,
+                    inst: e.inst,
+                    reg_write: None,
+                    store: Some((addr, width.bytes(), value)),
+                    at: now,
+                });
+                ReplayOutcome::Done
+            }
+            Inst::Prefetch { .. } => {
+                let addr = mem_addr(e.inst, s1);
+                mem.access_pc(now, self.id, AccessKind::Prefetch, addr, e.pc);
+                self.log_commit_deferred(Commit {
+                    seq: e.seq,
+                    pc: e.pc,
+                    inst: e.inst,
+                    reg_write: None,
+                    store: None,
+                    at: now,
+                });
+                ReplayOutcome::Done
+            }
+            inst => {
+                let out = execute(inst, s1, s2, e.pc);
+                if inst.is_control() {
+                    let predicted = e.pred_next_pc.expect("deferred control records its path");
+                    self.frontend.resolve(e.pc, inst, out.taken, out.next_pc);
+                    if out.next_pc != predicted {
+                        // An unpredicted indirect that blocked fetch is a
+                        // late resolution, not a misprediction: nothing ran
+                        // past it.
+                        let blocked_fetch =
+                            self.frontend.waiting_indirect() && self.seq == e.seq;
+                        if !blocked_fetch {
+                            if std::env::var("SST_TRACE_FAILS").is_ok() {
+                                eprintln!(
+                                    "FAIL pc={:#x} {:?} predicted={:#x} actual={:#x}",
+                                    e.pc, inst, predicted, out.next_pc
+                                );
+                            }
+                            return ReplayOutcome::Fail;
+                        }
+                        self.frontend.redirect(now + 1, out.next_pc);
+                    }
+                }
+                let ready = now + self.cfg.latency.of(inst);
+                let mut reg_write = None;
+                if let (Some(v), Some(rd)) = (out.value, inst.dest()) {
+                    self.merge_result(Some(rd), v, e.seq, ready);
+                    reg_write = Some((rd, v));
+                } else if let Some(v) = out.value {
+                    // Destination is x0: still record the produced value so
+                    // that dependents (there are none for x0) stay sound.
+                    self.replay_vals.insert(e.seq, (v, ready));
+                } else {
+                    self.replay_vals.insert(e.seq, (0, ready));
+                }
+                self.log_commit_deferred(Commit {
+                    seq: e.seq,
+                    pc: e.pc,
+                    inst,
+                    reg_write,
+                    store: None,
+                    at: now,
+                });
+                ReplayOutcome::Done
+            }
+        }
+    }
+
+    // -------------------------------------------------------- speculation mgmt
+
+    /// Decides what the deferred strand does this cycle. Returns
+    /// `(slots_for_ahead, ahead_suspended)`.
+    fn manage_speculation(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemSystem,
+        mem_ops: &mut usize,
+    ) -> (usize, bool) {
+        let width = self.cfg.width;
+        let Some(oldest) = self.epochs.front() else {
+            return (width, false);
+        };
+        let cause_ready = oldest.cause_ready;
+        let oldest_open = oldest.end_seq.is_none();
+
+        if !self.cfg.retain_results {
+            // Scout: run until the originating miss returns, then restart.
+            if now >= cause_ready {
+                self.rollback_to(0, now, true);
+            }
+            return (width, false);
+        }
+        let work = now >= self.replay_check_at;
+
+        if oldest_open && work {
+            // The (single) open epoch has replayable work. With a free
+            // checkpoint we close it and keep the ahead strand running
+            // (SST); otherwise the ahead strand suspends (EA).
+            if self.epochs.len() < self.cfg.checkpoints {
+                if let Some(pc) = self.frontend.resume_pc() {
+                    let end = self.seq;
+                    self.epochs.front_mut().expect("nonempty").end_seq = Some(end);
+                    let ck = Checkpoint::take(&self.spec, pc, self.seq + 1, now);
+                    self.epochs.push_back(Epoch {
+                        ckpt: ck,
+                        end_seq: None,
+                        log: Vec::new(),
+                        cause_ready: 0,
+                    });
+                }
+            }
+        }
+
+        let oldest_open = self
+            .epochs
+            .front()
+            .map(|e| e.end_seq.is_none())
+            .unwrap_or(true);
+
+        if !oldest_open {
+            // SST: deferred strand replays the closed epoch; ahead keeps
+            // whatever issue slots remain.
+            if now >= self.replay_check_at {
+                let used = self.replay(now, mem, width, mem_ops);
+                return (width.saturating_sub(used), false);
+            }
+            return (width, false);
+        }
+
+        // EA: replay the open epoch with the ahead strand suspended.
+        if work {
+            let used = self.replay(now, mem, width, mem_ops);
+            if used > 0 {
+                self.stats.stall_ea_replay += 1;
+                return (0, true);
+            }
+        }
+        (width, false)
+    }
+
+    // ------------------------------------------------------------- ahead strand
+
+    /// Builds the defer record for `inst` and pushes it (plus any store
+    /// buffer entry). Caller has verified capacity.
+    fn defer(&mut self, f: &FetchedInst, now: Cycle, data_ready_at: Option<Cycle>) {
+        let inst = f.inst;
+        let seq = self.seq;
+        let sources = inst.sources();
+        let mut captured = [None, None];
+        let mut producers = [None, None];
+        for (i, s) in sources.iter().enumerate() {
+            if let Some(r) = s {
+                if self.spec.is_nt(*r) {
+                    producers[i] = Some(self.spec.slot(*r).writer);
+                } else {
+                    captured[i] = Some(self.spec.value(*r));
+                }
+            } else {
+                captured[i] = Some(0);
+            }
+        }
+
+        if let Inst::Store { width, .. } = inst {
+            let addr = captured[0].map(|b| mem_addr(inst, b));
+            self.stb.push(StoreEntry {
+                seq,
+                addr,
+                bytes: width.bytes(),
+                value: captured[1],
+            });
+        }
+
+        let (predicted_taken, pred_next_pc) = if inst.is_control() {
+            (Some(f.pred_taken), Some(f.pred_next_pc))
+        } else {
+            (None, None)
+        };
+
+        self.dq.push(DqEntry {
+            seq,
+            pc: f.pc,
+            inst,
+            captured,
+            producers,
+            predicted_taken,
+            pred_next_pc,
+            data_ready_at,
+        });
+        if let Some(d) = data_ready_at {
+            self.replay_check_at = self.replay_check_at.min(d);
+        }
+        if let Some(rd) = inst.dest() {
+            self.spec.mark_nt(rd, seq);
+        }
+        self.stats.deferred += 1;
+        let _ = now;
+    }
+
+    /// Issues ahead-strand instructions. Returns after using `slots` slots
+    /// or hitting a stall.
+    fn ahead(&mut self, now: Cycle, mem: &mut MemSystem, slots: usize, mem_ops: &mut usize) {
+        for slot in 0..slots {
+            let Some(f) = self.frontend.peek().copied() else {
+                if slot == 0 {
+                    self.stats.stall_frontend += 1;
+                }
+                break;
+            };
+            let inst = f.inst;
+
+            // A halt cannot commit while speculation is outstanding.
+            if inst == Inst::Halt {
+                if self.in_speculation() {
+                    self.stats.stall_halt_wait += 1;
+                    break;
+                }
+                self.frontend.pop();
+                self.seq += 1;
+                self.commits.push(Commit {
+                    seq: self.seq,
+                    pc: f.pc,
+                    inst,
+                    reg_write: None,
+                    store: None,
+                    at: now,
+                });
+                self.halted = true;
+                self.last_progress = now;
+                break;
+            }
+
+            let sources = inst.sources();
+            let any_nt = self.spec.any_nt(sources);
+
+            // Non-NT sources must be timing-ready (in-order issue).
+            let ready_needed = sources
+                .iter()
+                .flatten()
+                .filter(|r| !self.spec.is_nt(**r))
+                .map(|r| self.spec.ready_at(*r))
+                .max()
+                .unwrap_or(0);
+            if ready_needed > now {
+                if slot == 0 {
+                    self.stats.stall_operand += 1;
+                }
+                break;
+            }
+
+            if any_nt {
+                // NT source: defer (possible only inside speculation).
+                debug_assert!(self.in_speculation(), "NT bits imply an active epoch");
+                if self.cfg.confidence_gate
+                    && self.cfg.retain_results
+                    && inst.is_control()
+                    && !f.pred_confident
+                {
+                    // Confidence gate: don't speculate past a shaky
+                    // deferred branch; wait for its inputs instead.
+                    self.stats.stall_lowconf += 1;
+                    break;
+                }
+                if self.dq.is_full() {
+                    self.stats.stall_dq_full += 1;
+                    break;
+                }
+                if inst.is_store() && self.stb.is_full() {
+                    self.stats.stall_stb_full += 1;
+                    break;
+                }
+                self.frontend.pop();
+                self.seq += 1;
+                self.stats.ahead_issued += 1;
+                self.defer(&f, now, None);
+                continue;
+            }
+
+            // All sources available: execute (or latency-defer a miss).
+            match inst {
+                Inst::Load {
+                    width, signed, rd, ..
+                } => {
+                    let base = sources[0].map_or(0, |r| self.spec.value(r));
+                    let addr = mem_addr(inst, base);
+                    let bytes = width.bytes();
+                    let my_seq = self.seq + 1;
+
+                    if self.in_speculation() && self.stb.unknown_addr_before(my_seq) {
+                        // Conservative ordering: an older store's address is
+                        // unknown, so this load defers.
+                        if self.dq.is_full() {
+                            self.stats.stall_dq_full += 1;
+                            break;
+                        }
+                        self.frontend.pop();
+                        self.seq += 1;
+                        self.stats.ahead_issued += 1;
+                        self.defer(&f, now, None);
+                        if let Some(rd) = inst.dest() {
+                            // defer() already marked it NT.
+                            let _ = rd;
+                        }
+                        continue;
+                    }
+
+                    match self.stb.forward(my_seq, addr, bytes) {
+                        ForwardResult::Forward(raw) => {
+                            self.frontend.pop();
+                            self.seq += 1;
+                            self.stats.ahead_issued += 1;
+                            let value = extend_load(width, signed, raw);
+                            self.spec.write(rd, value, self.seq, now + 2);
+                            self.log_commit(Commit {
+                                seq: self.seq,
+                                pc: f.pc,
+                                inst,
+                                reg_write: if rd.is_zero() {
+                                    None
+                                } else {
+                                    Some((rd, value))
+                                },
+                                store: None,
+                                at: now,
+                            });
+                        }
+                        ForwardResult::NotThere { .. } | ForwardResult::MustWait => {
+                            if self.dq.is_full() {
+                                self.stats.stall_dq_full += 1;
+                                break;
+                            }
+                            self.frontend.pop();
+                            self.seq += 1;
+                            self.stats.ahead_issued += 1;
+                            self.defer(&f, now, None);
+                        }
+                        ForwardResult::NoMatch => {
+                            if *mem_ops >= self.cfg.dcache_ports {
+                                self.stats.stall_port += 1;
+                                break;
+                            }
+                            *mem_ops += 1;
+                            let out = mem.access_pc(now, self.id, AccessKind::Load, addr, f.pc);
+                            // ROCK's defer trigger is the L2-miss *event*:
+                            // off-chip accesses defer, on-chip hits (even
+                            // queued ones) are waited out. The latency
+                            // guard skips deferral for merged misses whose
+                            // data is about to arrive anyway.
+                            let defer_miss = out.level == sst_mem::HitLevel::Mem
+                                && out.latency(now) > self.cfg.defer_threshold
+                                && (!self.no_defer || self.in_speculation());
+                            if defer_miss {
+                                // The paper's trigger: a long-latency miss.
+                                if self.dq.is_full() {
+                                    self.stats.stall_dq_full += 1;
+                                    break;
+                                }
+                                if !self.in_speculation() {
+                                    let ck =
+                                        Checkpoint::take(&self.spec, f.pc, my_seq, now);
+                                    self.epochs.push_back(Epoch {
+                                        ckpt: ck,
+                                        end_seq: None,
+                                        log: Vec::new(),
+                                        cause_ready: out.ready_at,
+                                    });
+                                    self.stats.episodes += 1;
+                                } else {
+                                    self.stats.overlapped_misses += 1;
+                                    // Eager checkpointing: anchor a new
+                                    // epoch at each deferrable miss while a
+                                    // checkpoint is free. This bounds the
+                                    // scope of a deferred-branch rollback
+                                    // to one miss region instead of the
+                                    // whole speculation episode.
+                                    if self.cfg.retain_results
+                                        && self.epochs.len() < self.cfg.checkpoints
+                                    {
+                                        self.epochs
+                                            .back_mut()
+                                            .expect("in speculation")
+                                            .end_seq = Some(my_seq - 1);
+                                        let ck = Checkpoint::take(
+                                            &self.spec,
+                                            f.pc,
+                                            my_seq,
+                                            now,
+                                        );
+                                        self.epochs.push_back(Epoch {
+                                            ckpt: ck,
+                                            end_seq: None,
+                                            log: Vec::new(),
+                                            cause_ready: out.ready_at,
+                                        });
+                                    }
+                                }
+                                self.frontend.pop();
+                                self.seq += 1;
+                                self.stats.ahead_issued += 1;
+                                self.defer(&f, now, Some(out.ready_at));
+                            } else {
+                                self.frontend.pop();
+                                self.seq += 1;
+                                self.stats.ahead_issued += 1;
+                                let raw = mem.read(addr, bytes);
+                                let value = extend_load(width, signed, raw);
+                                self.spec.write(rd, value, self.seq, out.ready_at);
+                                self.log_commit(Commit {
+                                    seq: self.seq,
+                                    pc: f.pc,
+                                    inst,
+                                    reg_write: if rd.is_zero() {
+                                        None
+                                    } else {
+                                        Some((rd, value))
+                                    },
+                                    store: None,
+                                    at: now,
+                                });
+                            }
+                        }
+                    }
+                }
+                Inst::Store { width, .. } => {
+                    let base = sources[0].map_or(0, |r| self.spec.value(r));
+                    let data = sources[1].map_or(0, |r| self.spec.value(r));
+                    let addr = mem_addr(inst, base);
+                    let bytes = width.bytes();
+                    if self.in_speculation() {
+                        if self.stb.is_full() {
+                            self.stats.stall_stb_full += 1;
+                            break;
+                        }
+                        self.frontend.pop();
+                        self.seq += 1;
+                        self.stats.ahead_issued += 1;
+                        self.stb.push(StoreEntry {
+                            seq: self.seq,
+                            addr: Some(addr),
+                            bytes,
+                            value: Some(data),
+                        });
+                        // Warm the line ahead of the commit-time write.
+                        mem.access_pc(now, self.id, AccessKind::Prefetch, addr, f.pc);
+                        self.log_commit(Commit {
+                            seq: self.seq,
+                            pc: f.pc,
+                            inst,
+                            reg_write: None,
+                            store: Some((addr, bytes, data)),
+                            at: now,
+                        });
+                    } else {
+                        if *mem_ops >= self.cfg.dcache_ports {
+                            self.stats.stall_port += 1;
+                            break;
+                        }
+                        *mem_ops += 1;
+                        self.frontend.pop();
+                        self.seq += 1;
+                        self.stats.ahead_issued += 1;
+                        mem.access_pc(now, self.id, AccessKind::Store, addr, f.pc);
+                        mem.write(addr, bytes, data);
+                        self.log_commit(Commit {
+                            seq: self.seq,
+                            pc: f.pc,
+                            inst,
+                            reg_write: None,
+                            store: Some((addr, bytes, data)),
+                            at: now,
+                        });
+                    }
+                }
+                Inst::Prefetch { .. } => {
+                    let base = sources[0].map_or(0, |r| self.spec.value(r));
+                    let addr = mem_addr(inst, base);
+                    self.frontend.pop();
+                    self.seq += 1;
+                    self.stats.ahead_issued += 1;
+                    mem.access_pc(now, self.id, AccessKind::Prefetch, addr, f.pc);
+                    self.log_commit(Commit {
+                        seq: self.seq,
+                        pc: f.pc,
+                        inst,
+                        reg_write: None,
+                        store: None,
+                        at: now,
+                    });
+                }
+                _ => {
+                    let s1 = sources[0].map_or(0, |r| self.spec.value(r));
+                    let s2 = sources[1].map_or(0, |r| self.spec.value(r));
+                    self.frontend.pop();
+                    self.seq += 1;
+                    self.stats.ahead_issued += 1;
+                    let out = execute(inst, s1, s2, f.pc);
+                    let mut reg_write = None;
+                    if let (Some(v), Some(rd)) = (out.value, inst.dest()) {
+                        self.spec
+                            .write(rd, v, self.seq, now + self.cfg.latency.of(inst));
+                        reg_write = Some((rd, v));
+                    }
+                    self.log_commit(Commit {
+                        seq: self.seq,
+                        pc: f.pc,
+                        inst,
+                        reg_write,
+                        store: None,
+                        at: now,
+                    });
+                    if inst.is_control() {
+                        self.frontend.resolve(f.pc, inst, out.taken, out.next_pc);
+                        if out.next_pc != f.pred_next_pc {
+                            self.stats.mispredicts += 1;
+                            self.frontend.redirect(now + 1, out.next_pc);
+                            break;
+                        }
+                    }
+                }
+            }
+            self.last_progress = now;
+        }
+    }
+}
+
+impl Core for SstCore {
+    fn tick(&mut self, mem: &mut MemSystem) {
+        let now = self.cycle;
+        self.cycle += 1;
+        if self.halted {
+            return;
+        }
+        assert!(
+            now.saturating_sub(self.last_progress) < 2_000_000,
+            "SST core wedged at cycle {now} (seq {}, dq {}, epochs {}, stb {})",
+            self.seq,
+            self.dq.len(),
+            self.epochs.len(),
+            self.stb.len()
+        );
+
+        self.frontend.tick(now, mem, self.id);
+        self.try_commit(now, mem);
+
+        let mut mem_ops = 0usize;
+        let (ahead_slots, _suspended) = self.manage_speculation(now, mem, &mut mem_ops);
+        self.try_commit(now, mem);
+
+        if ahead_slots > 0 && !self.halted {
+            self.ahead(now, mem, ahead_slots, &mut mem_ops);
+        }
+        self.try_commit(now, mem);
+    }
+
+    fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    fn retired(&self) -> u64 {
+        self.seq
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn drain_commits(&mut self) -> Vec<Commit> {
+        std::mem::take(&mut self.commits)
+    }
+
+    fn core_id(&self) -> usize {
+        self.id
+    }
+
+    fn model_name(&self) -> &'static str {
+        if !self.cfg.retain_results {
+            "scout"
+        } else if self.cfg.checkpoints == 1 {
+            "execute-ahead"
+        } else {
+            "sst"
+        }
+    }
+}

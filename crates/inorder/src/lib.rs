@@ -1,0 +1,22 @@
+//! # sst-inorder
+//!
+//! The in-order, stall-on-use baseline core of the SST study.
+//!
+//! This is the simplest machine in the comparison: a `width`-wide in-order
+//! pipeline that issues instructions in program order, records each
+//! destination's readiness cycle, and stalls issue when a consumer's source
+//! is not yet ready ("stall-on-use"). Independent loads can overlap (the
+//! MSHRs in `sst-mem` bound that), but a dependent use of a miss blocks the
+//! whole pipeline — precisely the behaviour SST's execute-ahead mechanism
+//! attacks.
+//!
+//! The core shares its frontend, latency table, and memory hierarchy with
+//! every other model in the workspace, so comparisons isolate the pipeline
+//! organization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core;
+
+pub use crate::core::{InOrderConfig, InOrderCore, InOrderStats};

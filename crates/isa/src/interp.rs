@@ -1,0 +1,537 @@
+use std::fmt;
+
+use crate::{Inst, Program, Reg, SparseMem, INST_BYTES, NUM_REGS};
+
+/// Architectural register + PC state.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ArchState {
+    regs: [u64; NUM_REGS],
+    /// Current program counter.
+    pub pc: u64,
+}
+
+impl ArchState {
+    /// Creates a zeroed state with the given entry PC.
+    pub fn new(entry: u64) -> ArchState {
+        ArchState {
+            regs: [0; NUM_REGS],
+            pc: entry,
+        }
+    }
+
+    /// Reads a register (reads of `x0` always return zero).
+    pub fn read(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (writes to `x0` are dropped).
+    pub fn write(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// A snapshot of all 64 registers in unified-index order.
+    pub fn regs(&self) -> &[u64; NUM_REGS] {
+        &self.regs
+    }
+}
+
+impl fmt::Debug for ArchState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pc = {:#x}", self.pc)?;
+        for r in Reg::all() {
+            let v = self.read(r);
+            if v != 0 {
+                writeln!(f, "  {r} = {v:#x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An architectural trap raised by [`Interp::step`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Trap {
+    /// The PC left the text segment or was misaligned.
+    BadPc(u64),
+    /// The instruction word at the PC failed to decode.
+    BadInst {
+        /// PC of the undecodable word.
+        pc: u64,
+        /// The word itself.
+        word: u32,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::BadPc(pc) => write!(f, "pc {pc:#x} is outside the text segment"),
+            Trap::BadInst { pc, word } => {
+                write!(f, "invalid instruction {word:#010x} at pc {pc:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// The memory effect of one retired instruction, as reported in
+/// [`StepEvent`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemEffect {
+    /// No memory access.
+    None,
+    /// A load of `bytes` bytes from `addr` returning `value` (post-extension).
+    Load {
+        /// Byte address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u64,
+        /// Architectural result written to the destination.
+        value: u64,
+    },
+    /// A store of the low `bytes` bytes of `value` to `addr`.
+    Store {
+        /// Byte address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u64,
+        /// Value stored (low `bytes` significant).
+        value: u64,
+    },
+}
+
+/// Everything observable about one functional step. Timing cores compare
+/// their retirement stream against these events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepEvent {
+    /// PC of the retired instruction.
+    pub pc: u64,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// PC of the next instruction (reflects taken branches).
+    pub next_pc: u64,
+    /// Register write performed, if any.
+    pub reg_write: Option<(Reg, u64)>,
+    /// Memory effect, if any.
+    pub mem: MemEffect,
+    /// `true` if this step was `halt`.
+    pub halted: bool,
+}
+
+/// Why [`Interp::run`] stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// A `halt` instruction retired.
+    Halt,
+    /// The step budget was exhausted before `halt`.
+    StepLimit,
+}
+
+/// Result of [`Interp::run`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunOutcome {
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Instructions retired (including the `halt`, if any).
+    pub steps: u64,
+}
+
+/// Functional reference interpreter.
+///
+/// Executes one instruction per [`Interp::step`] with no timing model. It is
+/// the golden model for co-simulation: every timing core in the workspace
+/// checks its retirement stream against an `Interp` running the same
+/// program (see `sst-sim`'s `RetireChecker`).
+pub struct Interp {
+    program: Program,
+    state: ArchState,
+    mem: SparseMem,
+    halted: bool,
+    retired: u64,
+}
+
+impl Interp {
+    /// Creates an interpreter with the program's image loaded into a fresh
+    /// memory.
+    pub fn new(program: &Program) -> Interp {
+        let mut mem = SparseMem::new();
+        program.load_into(&mut mem);
+        Interp {
+            program: program.clone(),
+            state: ArchState::new(program.entry),
+            mem,
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Current architectural state.
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// The data memory image (shared view; text lives here too).
+    pub fn mem(&self) -> &SparseMem {
+        &self.mem
+    }
+
+    /// Mutable access to memory (for tests that poke inputs).
+    pub fn mem_mut(&mut self) -> &mut SparseMem {
+        &mut self.mem
+    }
+
+    /// `true` once a `halt` has retired; further steps are no-ops.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Total instructions retired.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Executes one instruction.
+    ///
+    /// After `halt` retires the interpreter latches [`Interp::is_halted`]
+    /// and replays the same halt event on subsequent calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if the PC leaves the text segment or the fetched
+    /// word cannot be decoded. The state is unchanged on error.
+    pub fn step(&mut self) -> Result<StepEvent, Trap> {
+        let pc = self.state.pc;
+        if self.halted {
+            return Ok(StepEvent {
+                pc,
+                inst: Inst::Halt,
+                next_pc: pc,
+                reg_write: None,
+                mem: MemEffect::None,
+                halted: true,
+            });
+        }
+        let inst = self
+            .program
+            .inst_at(pc)
+            .ok_or(Trap::BadPc(pc))?;
+
+        let mut next_pc = pc.wrapping_add(INST_BYTES);
+        let mut reg_write = None;
+        let mut mem_effect = MemEffect::None;
+        let mut halted = false;
+
+        match inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.state.read(rs1), self.state.read(rs2));
+                reg_write = Some((rd, v));
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                let v = op.eval(self.state.read(rs1), imm as u64);
+                reg_write = Some((rd, v));
+            }
+            Inst::Lui { rd, imm } => {
+                reg_write = Some((rd, (imm << 12) as u64));
+            }
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                base,
+                offset,
+            } => {
+                let addr = self.state.read(base).wrapping_add_signed(offset);
+                let bytes = width.bytes();
+                let raw = self.mem.read_le(addr, bytes);
+                let value = if signed && bytes < 8 {
+                    let shift = 64 - bytes * 8;
+                    (((raw << shift) as i64) >> shift) as u64
+                } else {
+                    raw
+                };
+                reg_write = Some((rd, value));
+                mem_effect = MemEffect::Load { addr, bytes, value };
+            }
+            Inst::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => {
+                let addr = self.state.read(base).wrapping_add_signed(offset);
+                let bytes = width.bytes();
+                let value = self.state.read(src);
+                self.mem.write_le(addr, bytes, value);
+                mem_effect = MemEffect::Store { addr, bytes, value };
+            }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                if cond.eval(self.state.read(rs1), self.state.read(rs2)) {
+                    next_pc = pc.wrapping_add_signed(offset * 4);
+                }
+            }
+            Inst::Jal { rd, offset } => {
+                reg_write = Some((rd, pc.wrapping_add(INST_BYTES)));
+                next_pc = pc.wrapping_add_signed(offset * 4);
+            }
+            Inst::Jalr { rd, base, offset } => {
+                let target = self.state.read(base).wrapping_add_signed(offset) & !3u64;
+                reg_write = Some((rd, pc.wrapping_add(INST_BYTES)));
+                next_pc = target;
+            }
+            Inst::Fpu { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.state.read(rs1), self.state.read(rs2));
+                reg_write = Some((rd, v));
+            }
+            Inst::Prefetch { .. } => {}
+            Inst::Halt => {
+                halted = true;
+                next_pc = pc;
+            }
+        }
+
+        if let Some((rd, v)) = reg_write {
+            self.state.write(rd, v);
+            if rd.is_zero() {
+                reg_write = None;
+            }
+        }
+        self.state.pc = next_pc;
+        self.halted = halted;
+        self.retired += 1;
+
+        Ok(StepEvent {
+            pc,
+            inst,
+            next_pc,
+            reg_write,
+            mem: mem_effect,
+            halted,
+        })
+    }
+
+    /// Runs until `halt` or until `max_steps` instructions retire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Trap`].
+    pub fn run(&mut self, max_steps: u64) -> Result<RunOutcome, Trap> {
+        let mut steps = 0;
+        while steps < max_steps {
+            let ev = self.step()?;
+            steps += 1;
+            if ev.halted {
+                return Ok(RunOutcome {
+                    stop: StopReason::Halt,
+                    steps,
+                });
+            }
+        }
+        Ok(RunOutcome {
+            stop: StopReason::StepLimit,
+            steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asm, BranchCond};
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        let mut a = Asm::new();
+        a.li(Reg::x(5), 100);
+        a.li(Reg::x(6), 0);
+        let top = a.here();
+        a.add(Reg::x(6), Reg::x(6), Reg::x(5));
+        a.addi(Reg::x(5), Reg::x(5), -1);
+        a.bne(Reg::x(5), Reg::ZERO, top);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        let out = i.run(10_000).unwrap();
+        assert_eq!(out.stop, StopReason::Halt);
+        assert_eq!(i.state().read(Reg::x(6)), 5050);
+    }
+
+    #[test]
+    fn li_expansion_handles_big_constants() {
+        for &v in &[
+            0x7fff_ffff_ffff_ffffi64,
+            i64::MIN,
+            -1,
+            0x1234_5678,
+            -0x1234_5678_9abc,
+            4096,
+            -4097,
+            0xdead_beef_cafe_i64,
+        ] {
+            let mut a = Asm::new();
+            a.li(Reg::x(1), v);
+            a.halt();
+            let p = a.finish().unwrap();
+            let mut i = Interp::new(&p);
+            i.run(100).unwrap();
+            assert_eq!(i.state().read(Reg::x(1)) as i64, v, "li {v:#x}");
+        }
+    }
+
+    #[test]
+    fn loads_extend_correctly() {
+        let mut a = Asm::new();
+        let addr = a.data_bytes(&[0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0]);
+        a.la(Reg::x(1), addr);
+        a.lbu(Reg::x(2), Reg::x(1), 0);
+        a.load(crate::MemWidth::B1, true, Reg::x(3), Reg::x(1), 0);
+        a.lw(Reg::x(4), Reg::x(1), 0);
+        a.lwu(Reg::x(5), Reg::x(1), 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        i.run(100).unwrap();
+        assert_eq!(i.state().read(Reg::x(2)), 0xff);
+        assert_eq!(i.state().read(Reg::x(3)), u64::MAX);
+        assert_eq!(i.state().read(Reg::x(4)), u64::MAX);
+        assert_eq!(i.state().read(Reg::x(5)), 0xffff_ffff);
+    }
+
+    #[test]
+    fn store_load_roundtrip_and_event() {
+        let mut a = Asm::new();
+        let buf = a.reserve(64);
+        a.la(Reg::x(1), buf);
+        a.li(Reg::x(2), 0x55);
+        a.sd(Reg::x(2), Reg::x(1), 8);
+        a.ld(Reg::x(3), Reg::x(1), 8);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        // step through to observe the store event
+        let mut store_seen = false;
+        loop {
+            let ev = i.step().unwrap();
+            if let MemEffect::Store { addr, bytes, value } = ev.mem {
+                assert_eq!(addr, buf + 8);
+                assert_eq!(bytes, 8);
+                assert_eq!(value, 0x55);
+                store_seen = true;
+            }
+            if ev.halted {
+                break;
+            }
+        }
+        assert!(store_seen);
+        assert_eq!(i.state().read(Reg::x(3)), 0x55);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let mut a = Asm::new();
+        a.li(Reg::x(1), 1);
+        let skip = a.label();
+        a.branch(BranchCond::Eq, Reg::x(1), Reg::ZERO, skip); // not taken
+        a.li(Reg::x(2), 11);
+        a.bind(skip);
+        let skip2 = a.label();
+        a.branch(BranchCond::Ne, Reg::x(1), Reg::ZERO, skip2); // taken
+        a.li(Reg::x(2), 99); // skipped
+        a.bind(skip2);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        i.run(100).unwrap();
+        assert_eq!(i.state().read(Reg::x(2)), 11);
+    }
+
+    #[test]
+    fn jal_jalr_call_ret() {
+        let mut a = Asm::new();
+        let func = a.label();
+        a.call(func); // x1 = ret addr
+        a.halt();
+        a.bind(func);
+        a.li(Reg::x(10), 77);
+        a.ret();
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        let out = i.run(100).unwrap();
+        assert_eq!(out.stop, StopReason::Halt);
+        assert_eq!(i.state().read(Reg::x(10)), 77);
+    }
+
+    #[test]
+    fn fp_kernel() {
+        let mut a = Asm::new();
+        let vals = a.data_f64(&[1.5, 2.5]);
+        a.la(Reg::x(1), vals);
+        a.ld(Reg::f(0), Reg::x(1), 0);
+        a.ld(Reg::f(1), Reg::x(1), 8);
+        a.fadd(Reg::f(2), Reg::f(0), Reg::f(1));
+        a.fmul(Reg::f(3), Reg::f(2), Reg::f(2));
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        i.run(100).unwrap();
+        assert_eq!(f64::from_bits(i.state().read(Reg::f(2))), 4.0);
+        assert_eq!(f64::from_bits(i.state().read(Reg::f(3))), 16.0);
+    }
+
+    #[test]
+    fn bad_pc_traps() {
+        let mut a = Asm::new();
+        a.li(Reg::x(1), 0);
+        a.jalr(Reg::ZERO, Reg::x(1), 0); // jump to 0: outside text
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        i.step().unwrap();
+        i.step().unwrap();
+        assert_eq!(i.step(), Err(Trap::BadPc(0)));
+    }
+
+    #[test]
+    fn halt_latches() {
+        let mut a = Asm::new();
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        let e1 = i.step().unwrap();
+        assert!(e1.halted);
+        let e2 = i.step().unwrap();
+        assert!(e2.halted);
+        assert!(i.is_halted());
+        assert_eq!(i.retired(), 1, "latched halt replays do not retire");
+    }
+
+    #[test]
+    fn x0_writes_dropped_in_events() {
+        let mut a = Asm::new();
+        a.addi(Reg::ZERO, Reg::ZERO, 5);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        let ev = i.step().unwrap();
+        assert_eq!(ev.reg_write, None);
+        assert_eq!(i.state().read(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn running_to_step_limit() {
+        let mut a = Asm::new();
+        let top = a.here();
+        a.j(top);
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        let out = i.run(50).unwrap();
+        assert_eq!(out.stop, StopReason::StepLimit);
+        assert_eq!(out.steps, 50);
+    }
+}

@@ -1,0 +1,224 @@
+//! Property-based tests for the ISA: encode/decode round-trips, `li`
+//! expansion correctness, ALU semantics, and sparse-memory invariants.
+
+use proptest::prelude::*;
+use sst_isa::{
+    assemble, decode, disasm, encode, AluOp, Asm, BranchCond, FpuOp, Inst, Interp, MemWidth, Reg,
+    SparseMem,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..64).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ]
+}
+
+fn arb_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::B1),
+        Just(MemWidth::B2),
+        Just(MemWidth::B4),
+        Just(MemWidth::B8),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ]
+}
+
+fn arb_fpu_op() -> impl Strategy<Value = FpuOp> {
+    prop_oneof![
+        Just(FpuOp::Fadd),
+        Just(FpuOp::Fsub),
+        Just(FpuOp::Fmul),
+        Just(FpuOp::Fdiv),
+        Just(FpuOp::Fmin),
+        Just(FpuOp::Fmax),
+        Just(FpuOp::Fsqrt),
+        Just(FpuOp::Feq),
+        Just(FpuOp::Flt),
+        Just(FpuOp::Fle),
+        Just(FpuOp::CvtIntToF),
+        Just(FpuOp::CvtFToInt),
+    ]
+}
+
+/// Encodable instructions with in-range immediates.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+        (arb_alu_op(), arb_reg(), arb_reg(), -2048i64..=2047).prop_map(|(op, rd, rs1, imm)| {
+            // Respect per-op immediate domains.
+            let imm = match op {
+                AluOp::And | AluOp::Or | AluOp::Xor => imm.rem_euclid(4096),
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm.rem_euclid(64),
+                _ => imm,
+            };
+            Inst::AluImm { op, rd, rs1, imm }
+        }),
+        (arb_reg(), -131072i64..=131071).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (arb_width(), any::<bool>(), arb_reg(), arb_reg(), -2048i64..=2047).prop_map(
+            |(width, signed, rd, base, offset)| {
+                let signed = if width == MemWidth::B8 { true } else { signed };
+                Inst::Load {
+                    width,
+                    signed,
+                    rd,
+                    base,
+                    offset,
+                }
+            }
+        ),
+        (arb_width(), arb_reg(), arb_reg(), -2048i64..=2047).prop_map(
+            |(width, src, base, offset)| Inst::Store {
+                width,
+                src,
+                base,
+                offset
+            }
+        ),
+        (arb_cond(), arb_reg(), arb_reg(), -2048i64..=2047).prop_map(
+            |(cond, rs1, rs2, offset)| Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset
+            }
+        ),
+        (arb_reg(), -131072i64..=131071).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (arb_reg(), arb_reg(), -2048i64..=2047)
+            .prop_map(|(rd, base, offset)| Inst::Jalr { rd, base, offset }),
+        (arb_fpu_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
+            let rs2 = if op.is_unary() { Reg::ZERO } else { rs2 };
+            Inst::Fpu { op, rd, rs1, rs2 }
+        }),
+        (arb_reg(), -2048i64..=2047).prop_map(|(base, offset)| Inst::Prefetch { base, offset }),
+        Just(Inst::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let word = encode(inst).expect("generated instructions are encodable");
+        let back = decode(word).expect("encoded words decode");
+        prop_assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word); // Ok or Err, but never a panic
+    }
+
+    #[test]
+    fn decoded_reencodes_identically(word in any::<u32>()) {
+        if let Ok(inst) = decode(word) {
+            // Decoded instructions must re-encode (possibly canonicalized,
+            // e.g. unary FPU rs2), and the canonical form is a fixed point.
+            let w2 = encode(inst).expect("decoded instructions are encodable");
+            let i2 = decode(w2).expect("re-encoded word decodes");
+            prop_assert_eq!(inst, i2);
+        }
+    }
+
+    #[test]
+    fn li_loads_exact_value(v in any::<i64>()) {
+        let mut a = Asm::new();
+        a.li(Reg::x(1), v);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        i.run(64).unwrap();
+        prop_assert_eq!(i.state().read(Reg::x(1)) as i64, v);
+    }
+
+    #[test]
+    fn alu_add_sub_inverse(a in any::<u64>(), b in any::<u64>()) {
+        let sum = AluOp::Add.eval(a, b);
+        prop_assert_eq!(AluOp::Sub.eval(sum, b), a);
+    }
+
+    #[test]
+    fn alu_shifts_mask_amount(a in any::<u64>(), sh in any::<u64>()) {
+        prop_assert_eq!(AluOp::Sll.eval(a, sh), AluOp::Sll.eval(a, sh & 0x3f));
+        prop_assert_eq!(AluOp::Srl.eval(a, sh), AluOp::Srl.eval(a, sh & 0x3f));
+        prop_assert_eq!(AluOp::Sra.eval(a, sh), AluOp::Sra.eval(a, sh & 0x3f));
+    }
+
+    #[test]
+    fn slt_matches_signed_compare(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(AluOp::Slt.eval(a as u64, b as u64), (a < b) as u64);
+        prop_assert_eq!(
+            BranchCond::Lt.eval(a as u64, b as u64),
+            a < b
+        );
+    }
+
+    #[test]
+    fn sparse_mem_rw_roundtrip(addr in 0u64..u64::MAX - 8, val in any::<u64>(), n in 1u64..=8) {
+        let mut m = SparseMem::new();
+        m.write_le(addr, n, val);
+        let mask = if n == 8 { u64::MAX } else { (1u64 << (8 * n)) - 1 };
+        prop_assert_eq!(m.read_le(addr, n), val & mask);
+    }
+
+    #[test]
+    fn sparse_mem_disjoint_writes_do_not_interfere(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        va in any::<u64>(),
+        vb in any::<u64>(),
+    ) {
+        prop_assume!(a.abs_diff(b) >= 8);
+        let mut m = SparseMem::new();
+        m.write_u64(a, va);
+        m.write_u64(b, vb);
+        prop_assert_eq!(m.read_u64(a), va);
+        prop_assert_eq!(m.read_u64(b), vb);
+    }
+
+    #[test]
+    fn disasm_reassembles_for_alu(op in arb_alu_op(), rd in arb_reg(), rs1 in arb_reg(), rs2 in arb_reg()) {
+        let inst = Inst::Alu { op, rd, rs1, rs2 };
+        let text = format!("{}\nhalt\n", disasm(inst));
+        let p = assemble(&text).expect("disassembly of ALU ops reassembles");
+        prop_assert_eq!(p.decode_all()[0], inst);
+    }
+
+    #[test]
+    fn branch_eval_consistency(cond in arb_cond(), a in any::<u64>(), b in any::<u64>()) {
+        use BranchCond::*;
+        let r = cond.eval(a, b);
+        let opposite = match cond {
+            Eq => Ne, Ne => Eq, Lt => Ge, Ge => Lt, Ltu => Geu, Geu => Ltu,
+        };
+        prop_assert_eq!(r, !opposite.eval(a, b));
+    }
+}

@@ -1,0 +1,197 @@
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two line size,
+    /// or capacity not divisible into whole sets).
+    pub fn sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be 2^n");
+        let lines = self.size_bytes / self.line_bytes;
+        let sets = lines as usize / self.ways;
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "cache must have a power-of-two number of sets, got {sets}"
+        );
+        assert_eq!(
+            sets as u64 * self.ways as u64 * self.line_bytes,
+            self.size_bytes,
+            "size/ways/line must divide evenly"
+        );
+        sets
+    }
+
+    /// A 32 KiB, 4-way, 64 B-line cache (the workspace's default L1).
+    pub fn l1_default() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
+    }
+
+    /// A 2 MiB, 8-way, 64 B-line cache (the workspace's default L2).
+    pub fn l2_default() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        }
+    }
+}
+
+/// DRAM timing parameters, in core cycles.
+///
+/// The model has one channel shared by all banks. Each access occupies the
+/// channel for [`DramConfig::burst_cycles`] and its bank for
+/// [`DramConfig::bank_busy_cycles`]; the latency of the access itself is
+/// [`DramConfig::base_cycles`] plus a row-buffer hit/miss component. The
+/// paper's memory-latency sweep (experiment E5) varies `base_cycles`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Fixed request latency (controller + interconnect + DRAM core).
+    pub base_cycles: u64,
+    /// Additional latency when the access hits the open row.
+    pub row_hit_cycles: u64,
+    /// Additional latency when the row buffer must be opened.
+    pub row_miss_cycles: u64,
+    /// Number of independent banks.
+    pub banks: usize,
+    /// Bytes per row (row-buffer reach).
+    pub row_bytes: u64,
+    /// Cycles a bank stays busy per access.
+    pub bank_busy_cycles: u64,
+    /// Cycles the shared channel is occupied per access.
+    pub burst_cycles: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> DramConfig {
+        // Roughly a 2+ GHz core in front of commodity DDR: ~300-cycle
+        // loaded round trip, 16 banks, 4 KiB rows.
+        DramConfig {
+            base_cycles: 280,
+            row_hit_cycles: 20,
+            row_miss_cycles: 60,
+            banks: 16,
+            row_bytes: 4096,
+            bank_busy_cycles: 40,
+            burst_cycles: 4,
+        }
+    }
+}
+
+/// Stride-prefetcher parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StrideConfig {
+    /// Number of PC-indexed tracking entries.
+    pub entries: usize,
+    /// Consecutive same-stride observations required before issuing.
+    pub confidence: u8,
+    /// How many lines ahead to prefetch once confident.
+    pub degree: u64,
+}
+
+impl Default for StrideConfig {
+    fn default() -> StrideConfig {
+        StrideConfig {
+            entries: 64,
+            confidence: 2,
+            degree: 2,
+        }
+    }
+}
+
+/// Full memory-system configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Per-core L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// Per-core L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+    /// L1 hit latency in cycles (applies to both L1I and L1D).
+    pub l1_latency: u64,
+    /// L2 hit latency in cycles, on top of the L1 lookup.
+    pub l2_latency: u64,
+    /// Cycles the shared L2 port is occupied per access (contention in CMPs).
+    pub l2_port_cycles: u64,
+    /// Outstanding-miss registers per core L1D. **This bounds each core's
+    /// memory-level parallelism** and is a first-class parameter of the SST
+    /// study.
+    pub l1d_mshrs: usize,
+    /// Outstanding-miss registers at the shared L2.
+    pub l2_mshrs: usize,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Optional stride prefetcher trained on L1D accesses.
+    pub prefetch: Option<StrideConfig>,
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig {
+            l1i: CacheConfig::l1_default(),
+            l1d: CacheConfig::l1_default(),
+            l2: CacheConfig::l2_default(),
+            l1_latency: 2,
+            l2_latency: 18,
+            l2_port_cycles: 2,
+            l1d_mshrs: 16,
+            l2_mshrs: 32,
+            dram: DramConfig::default(),
+            prefetch: None,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Approximate unloaded memory round-trip latency in cycles (L1 + L2
+    /// lookups + DRAM base + row miss). Used by cores to pick deferral
+    /// thresholds and by reports.
+    pub fn mem_round_trip(&self) -> u64 {
+        self.l1_latency + self.l2_latency + self.dram.base_cycles + self.dram.row_miss_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometries_are_consistent() {
+        assert_eq!(CacheConfig::l1_default().sets(), 128);
+        assert_eq!(CacheConfig::l2_default().sets(), 4096);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_panics() {
+        CacheConfig {
+            size_bytes: 3000,
+            ways: 7,
+            line_bytes: 64,
+        }
+        .sets();
+    }
+
+    #[test]
+    fn round_trip_reflects_dram_base() {
+        let mut c = MemConfig::default();
+        let base = c.mem_round_trip();
+        c.dram.base_cycles += 100;
+        assert_eq!(c.mem_round_trip(), base + 100);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the memory hierarchy: timing monotonicity, tag-array
+//! invariants, and functional/timing independence.
+
+use proptest::prelude::*;
+use sst_mem::{AccessKind, CacheConfig, MemConfig, MemSystem, TagArray};
+
+fn small_mem() -> MemConfig {
+    MemConfig {
+        l1d: CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 64,
+        },
+        l1i: CacheConfig {
+            size_bytes: 1024,
+            ways: 2,
+            line_bytes: 64,
+        },
+        l2: CacheConfig {
+            size_bytes: 8192,
+            ways: 4,
+            line_bytes: 64,
+        },
+        ..MemConfig::default()
+    }
+}
+
+fn arb_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::Load),
+        Just(AccessKind::Store),
+        Just(AccessKind::IFetch),
+        Just(AccessKind::Prefetch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Completion time never precedes issue time, for any access sequence.
+    #[test]
+    fn ready_at_is_never_before_issue(
+        seq in prop::collection::vec((arb_kind(), 0u64..1u64 << 20, 0u64..50), 1..200)
+    ) {
+        let mut ms = MemSystem::new(&small_mem(), 1);
+        let mut now = 0u64;
+        for (kind, addr, gap) in seq {
+            let o = ms.access(now, 0, kind, addr);
+            prop_assert!(o.ready_at >= now || kind == AccessKind::Prefetch);
+            now += gap;
+        }
+    }
+
+    /// Repeating the same address back-to-back always ends in an L1 hit.
+    #[test]
+    fn second_access_hits_l1(addr in 0u64..1u64 << 30) {
+        let mut ms = MemSystem::new(&small_mem(), 1);
+        let a = ms.access(0, 0, AccessKind::Load, addr);
+        let b = ms.access(a.ready_at + 1, 0, AccessKind::Load, addr);
+        prop_assert_eq!(b.level, sst_mem::HitLevel::L1);
+    }
+
+    /// Timing accesses never change memory contents.
+    #[test]
+    fn timing_never_mutates_data(
+        addr in 0u64..1u64 << 20,
+        val in any::<u64>(),
+        probes in prop::collection::vec((arb_kind(), 0u64..1u64 << 20), 1..100),
+    ) {
+        let mut ms = MemSystem::new(&small_mem(), 1);
+        ms.write(addr, 8, val);
+        let mut now = 0;
+        for (kind, a) in probes {
+            let o = ms.access(now, 0, kind, a);
+            now = o.ready_at.max(now) + 1;
+        }
+        prop_assert_eq!(ms.read(addr, 8), val);
+    }
+
+    /// The tag array never exceeds its capacity and fill-then-probe holds.
+    #[test]
+    fn tag_array_capacity_invariant(
+        addrs in prop::collection::vec(0u64..1u64 << 24, 1..300)
+    ) {
+        let cfg = CacheConfig { size_bytes: 2048, ways: 4, line_bytes: 64 };
+        let mut tags = TagArray::new(&cfg);
+        let capacity = (cfg.size_bytes / cfg.line_bytes) as usize;
+        for a in addrs {
+            tags.fill(a, false);
+            prop_assert!(tags.probe(a), "line just filled must be present");
+            prop_assert!(tags.valid_lines() <= capacity);
+        }
+    }
+
+    /// LRU property: within one set, the most recently touched line of a
+    /// (ways+1)-line working set is never the victim.
+    #[test]
+    fn mru_line_survives_eviction(base in (0u64..1u64 << 16).prop_map(|a| a & !63)) {
+        let cfg = CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 };
+        let mut tags = TagArray::new(&cfg);
+        let stride = 64 * cfg.sets() as u64;
+        let a = base;
+        let b = base + stride;
+        let c = base + 2 * stride;
+        tags.fill(a, false);
+        tags.fill(b, false);
+        tags.access(a, false); // a is MRU
+        tags.fill(c, false); // must evict b
+        prop_assert!(tags.probe(a));
+        prop_assert!(!tags.probe(b));
+        prop_assert!(tags.probe(c));
+    }
+
+    /// Merged misses (same line) never complete later than a fresh miss
+    /// would, and never earlier than the primary fill.
+    #[test]
+    fn merge_bounded_by_primary(offset in 0u64..64) {
+        let mut ms = MemSystem::new(&small_mem(), 1);
+        let base = 0x40_0000u64;
+        let primary = ms.access(0, 0, AccessKind::Load, base);
+        let merged = ms.access(1, 0, AccessKind::Load, base + offset);
+        prop_assert!(merged.ready_at >= 1);
+        prop_assert!(merged.ready_at <= primary.ready_at.max(1 + ms.config().l1_latency));
+    }
+}

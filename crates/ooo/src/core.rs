@@ -1,0 +1,759 @@
+//! The out-of-order pipeline model.
+
+use std::collections::VecDeque;
+
+use sst_isa::{Inst, Program, Reg};
+use sst_mem::{AccessKind, Cycle, MemSystem};
+use sst_uarch::{
+    execute, extend_load, mem_addr, Commit, Core, ExecLatency, Frontend, FrontendConfig, Seq,
+};
+
+/// Configuration of the out-of-order baseline.
+#[derive(Clone, Debug)]
+pub struct OooConfig {
+    /// Frontend (fetch/predict) configuration.
+    pub frontend: FrontendConfig,
+    /// Functional-unit latencies.
+    pub latency: ExecLatency,
+    /// Instructions renamed per cycle.
+    pub rename_width: usize,
+    /// Instructions issued per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Unified issue-queue entries (instructions waiting to issue).
+    pub iq_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// Memory operations issued per cycle.
+    pub dcache_ports: usize,
+}
+
+impl OooConfig {
+    /// A small 2-wide machine with a 32-entry window (area-comparable to
+    /// the SST core plus its rename/ROB overhead).
+    pub fn ooo_32() -> OooConfig {
+        OooConfig {
+            frontend: FrontendConfig {
+                width: 2,
+                ..FrontendConfig::default()
+            },
+            latency: ExecLatency::default(),
+            rename_width: 2,
+            issue_width: 2,
+            commit_width: 2,
+            rob_entries: 32,
+            iq_entries: 16,
+            lq_entries: 16,
+            sq_entries: 12,
+            dcache_ports: 1,
+        }
+    }
+
+    /// A 4-wide machine with a 64-entry window.
+    pub fn ooo_64() -> OooConfig {
+        OooConfig {
+            frontend: FrontendConfig {
+                width: 4,
+                ..FrontendConfig::default()
+            },
+            rename_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_entries: 64,
+            iq_entries: 32,
+            lq_entries: 24,
+            sq_entries: 20,
+            dcache_ports: 2,
+            ..OooConfig::ooo_32()
+        }
+    }
+
+    /// A large 4-wide machine with a 128-entry window (the "larger and
+    /// higher-powered out-of-order core" of the paper's headline claim).
+    pub fn ooo_128() -> OooConfig {
+        OooConfig {
+            rob_entries: 128,
+            iq_entries: 64,
+            lq_entries: 48,
+            sq_entries: 32,
+            ..OooConfig::ooo_64()
+        }
+    }
+
+    /// Label for reports ("ooo-32", ...).
+    pub fn label(&self) -> String {
+        format!("ooo-{}", self.rob_entries)
+    }
+}
+
+/// Statistics of the out-of-order core.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OooStats {
+    /// Cycles rename stalled: empty decode queue.
+    pub stall_frontend: u64,
+    /// Cycles rename stalled: ROB full.
+    pub stall_rob_full: u64,
+    /// Cycles rename stalled: issue queue full.
+    pub stall_iq_full: u64,
+    /// Cycles rename stalled: load or store queue full.
+    pub stall_lsq_full: u64,
+    /// Cycles rename stalled waiting for a mispredicted branch to resolve.
+    pub stall_branch_resolve: u64,
+    /// Mispredicted control transfers.
+    pub mispredicts: u64,
+    /// Memory-order violations (load issued past a conflicting store).
+    pub violations: u64,
+    /// Loads served by store-to-load forwarding.
+    pub forwards: u64,
+    /// Wrong-path loads/stores turned into prefetches while fetch was
+    /// blocked on a mispredicted branch.
+    pub wrong_path_prefetches: u64,
+    /// Instructions issued.
+    pub issued: u64,
+    /// Peak ROB occupancy.
+    pub rob_high_water: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EntryState {
+    /// Waiting in the issue queue for its sources.
+    Waiting,
+    /// Executing; result ready at the given cycle.
+    Issued(Cycle),
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    seq: Seq,
+    pc: u64,
+    inst: Inst,
+    state: EntryState,
+    /// Physical sources (None = no register / always-ready).
+    srcs: [Option<usize>; 2],
+    dest_phys: Option<usize>,
+    old_phys: Option<usize>,
+    /// Future-file value of the destination before this instruction.
+    old_future: u64,
+    /// Architectural result (computed functionally at rename).
+    value: Option<u64>,
+    /// Memory operation: (addr, bytes, is_store, store value).
+    mem: Option<(u64, u64, bool, u64)>,
+    /// For executed loads: which store seq forwarded the value, if any.
+    forwarded_from: Option<Seq>,
+    /// Memory op has performed its access / resolved its address.
+    mem_executed: bool,
+    /// Control: resolved next PC differed from the prediction.
+    mispredicted: bool,
+    /// Resolved next PC for control instructions.
+    actual_next: u64,
+}
+
+/// The out-of-order baseline core.
+pub struct OooCore {
+    cfg: OooConfig,
+    id: usize,
+    frontend: Frontend,
+    /// Rename-time architectural values (future file).
+    future: [u64; 64],
+    /// Architectural-to-physical map.
+    rat: [usize; 64],
+    /// Physical-register readiness times.
+    phys_ready: Vec<Cycle>,
+    free: Vec<usize>,
+    rob: VecDeque<RobEntry>,
+    seq: Seq,
+    cycle: Cycle,
+    halted: bool,
+    /// Renaming is blocked until the mispredicted branch at this seq
+    /// executes and redirects fetch.
+    fetch_blocked_on: Option<Seq>,
+    /// Shadow register values and poison bits for the wrong-path phantom
+    /// walk (see `phantom_walk`); live while renaming is blocked. A
+    /// poisoned register holds a value that would not have arrived in time
+    /// on the real wrong path (a missing load or its dependents).
+    phantom: Option<([u64; 64], [bool; 64])>,
+    /// Instructions consumed by the current phantom walk (bounded).
+    phantom_count: usize,
+    commits: Vec<Commit>,
+    /// Statistics.
+    pub stats: OooStats,
+}
+
+impl OooCore {
+    /// Creates a core with index `id` starting at `program.entry`. The
+    /// caller loads the program image into the shared [`MemSystem`].
+    pub fn new(cfg: OooConfig, id: usize, program: &Program) -> OooCore {
+        let phys_count = 64 + cfg.rob_entries;
+        let mut free: Vec<usize> = (64..phys_count).rev().collect();
+        free.shrink_to_fit();
+        OooCore {
+            frontend: Frontend::new(cfg.frontend, program.entry),
+            cfg,
+            id,
+            future: [0; 64],
+            rat: std::array::from_fn(|i| i),
+            phys_ready: vec![0; phys_count],
+            free,
+            rob: VecDeque::new(),
+            seq: 0,
+            cycle: 0,
+            halted: false,
+            fetch_blocked_on: None,
+            phantom: None,
+            phantom_count: 0,
+            commits: Vec::new(),
+            stats: OooStats::default(),
+        }
+    }
+
+    /// The frontend (prediction statistics).
+    pub fn frontend(&mut self) -> &mut Frontend {
+        &mut self.frontend
+    }
+
+    /// Current future-file value of a register (tests).
+    pub fn future_value(&self, r: Reg) -> u64 {
+        self.future[r.index()]
+    }
+
+    fn waiting_count(&self) -> usize {
+        self.rob
+            .iter()
+            .filter(|e| e.state == EntryState::Waiting)
+            .count()
+    }
+
+    fn load_count(&self) -> usize {
+        self.rob
+            .iter()
+            .filter(|e| matches!(e.mem, Some((_, _, false, _))))
+            .count()
+    }
+
+    fn store_count(&self) -> usize {
+        self.rob
+            .iter()
+            .filter(|e| matches!(e.mem, Some((_, _, true, _))))
+            .count()
+    }
+
+    // ------------------------------------------------------------- rename
+
+    /// While fetch is blocked on a mispredicted branch, a real machine
+    /// keeps fetching and executing down the wrong path; the useful side
+    /// effect is prefetching (wrong-path loads frequently target
+    /// correct-path data beyond a reconvergence point). This walk models
+    /// that benefit *generously*: wrong-path instructions execute against
+    /// shadow registers at zero timing cost, and their memory references
+    /// become prefetches. Without it the OoO baseline would be unfairly
+    /// denied a real machine's wrong-path prefetching.
+    fn phantom_walk(&mut self, now: Cycle, mem: &mut MemSystem) {
+        const PHANTOM_LIMIT: usize = 64;
+        /// A wrong-path load slower than this poisons its consumers: its
+        /// data would not return before the mispredicted branch resolves.
+        const POISON_LATENCY: u64 = 30;
+        let (shadow, poison) = self
+            .phantom
+            .get_or_insert((self.future, [false; 64]));
+        for _ in 0..self.cfg.rename_width {
+            if self.phantom_count >= PHANTOM_LIMIT {
+                return;
+            }
+            let Some(f) = self.frontend.peek().copied() else {
+                return;
+            };
+            if f.inst == Inst::Halt {
+                return;
+            }
+            self.frontend.pop();
+            self.phantom_count += 1;
+            let inst = f.inst;
+            let srcs = inst.sources();
+            let s1 = srcs[0].map_or(0, |r| shadow[r.index()]);
+            let s2 = srcs[1].map_or(0, |r| shadow[r.index()]);
+            let any_poison = srcs
+                .iter()
+                .flatten()
+                .any(|r| poison[r.index()]);
+            match inst {
+                Inst::Load {
+                    width, signed, rd, ..
+                } => {
+                    if any_poison {
+                        // Address chain is unavailable on the real wrong
+                        // path: no prefetch, destination poisoned.
+                        if !rd.is_zero() {
+                            poison[rd.index()] = true;
+                        }
+                        continue;
+                    }
+                    let addr = mem_addr(inst, s1);
+                    let out = mem.access_pc(now, self.id, AccessKind::Prefetch, addr, f.pc);
+                    self.stats.wrong_path_prefetches += 1;
+                    if out.level == sst_mem::HitLevel::Mem && out.latency(now) > POISON_LATENCY {
+                        if !rd.is_zero() {
+                            poison[rd.index()] = true;
+                        }
+                    } else if !rd.is_zero() {
+                        let raw = mem.read(addr, width.bytes());
+                        shadow[rd.index()] = extend_load(width, signed, raw);
+                        poison[rd.index()] = false;
+                    }
+                }
+                Inst::Store { .. } | Inst::Prefetch { .. } => {
+                    if srcs[0].is_some_and(|r| poison[r.index()]) {
+                        continue; // address unknown on the real wrong path
+                    }
+                    let addr = mem_addr(inst, s1);
+                    mem.access_pc(now, self.id, AccessKind::Prefetch, addr, f.pc);
+                    self.stats.wrong_path_prefetches += 1;
+                }
+                _ => {
+                    let out = execute(inst, s1, s2, f.pc);
+                    if let (Some(v), Some(rd)) = (out.value, inst.dest()) {
+                        shadow[rd.index()] = v;
+                        poison[rd.index()] = any_poison;
+                    }
+                    // Control flow follows the frontend's own predicted
+                    // path (the queue was fetched that way).
+                }
+            }
+        }
+    }
+
+    fn rename(&mut self, now: Cycle, mem: &mut MemSystem) {
+        if self.fetch_blocked_on.is_some() {
+            self.stats.stall_branch_resolve += 1;
+            self.phantom_walk(now, mem);
+            return;
+        }
+        for slot in 0..self.cfg.rename_width {
+            if self.halted {
+                break;
+            }
+            let Some(f) = self.frontend.peek().copied() else {
+                if slot == 0 {
+                    self.stats.stall_frontend += 1;
+                }
+                break;
+            };
+            if self.rob.len() >= self.cfg.rob_entries {
+                self.stats.stall_rob_full += 1;
+                break;
+            }
+            if self.waiting_count() >= self.cfg.iq_entries {
+                self.stats.stall_iq_full += 1;
+                break;
+            }
+            let inst = f.inst;
+            if inst.is_load() && self.load_count() >= self.cfg.lq_entries {
+                self.stats.stall_lsq_full += 1;
+                break;
+            }
+            if inst.is_store() && self.store_count() >= self.cfg.sq_entries {
+                self.stats.stall_lsq_full += 1;
+                break;
+            }
+
+            self.frontend.pop();
+            self.seq += 1;
+            let seq = self.seq;
+
+            // Physical sources.
+            let srcs = inst.sources().map(|s| s.map(|r| self.rat[r.index()]));
+
+            // Functional execution against the future file (rename order is
+            // program order on the correct path, so these values are
+            // architecturally exact).
+            let s1 = inst.sources()[0].map_or(0, |r| self.future[r.index()]);
+            let s2 = inst.sources()[1].map_or(0, |r| self.future[r.index()]);
+
+            let mut value = None;
+            let mut mem_info = None;
+            let mut actual_next = f.pc.wrapping_add(4);
+            let mut taken = false;
+            match inst {
+                Inst::Load {
+                    width, signed, ..
+                } => {
+                    let addr = mem_addr(inst, s1);
+                    // Architectural load value: backing memory (committed
+                    // stores) overlaid with the in-flight store queue.
+                    mem_info = Some((addr, width.bytes(), false, 0));
+                    let raw = self.read_through_sq(mem, seq, addr, width.bytes());
+                    value = Some(extend_load(width, signed, raw));
+                }
+                Inst::Store { width, .. } => {
+                    let addr = mem_addr(inst, s1);
+                    mem_info = Some((addr, width.bytes(), true, s2));
+                }
+                Inst::Prefetch { .. } => {
+                    let addr = mem_addr(inst, s1);
+                    mem_info = Some((addr, 1, false, 0));
+                }
+                Inst::Halt => {}
+                _ => {
+                    let out = execute(inst, s1, s2, f.pc);
+                    value = out.value;
+                    actual_next = out.next_pc;
+                    taken = out.taken;
+                }
+            }
+
+            // Rename the destination.
+            let (dest_phys, old_phys, old_future) = match inst.dest() {
+                Some(rd) => {
+                    let p = self.free.pop().expect("phys regs cover ROB size");
+                    let old = self.rat[rd.index()];
+                    self.rat[rd.index()] = p;
+                    let old_future = self.future[rd.index()];
+                    self.future[rd.index()] =
+                        value.expect("dest implies a value");
+                    self.phys_ready[p] = Cycle::MAX; // until executed
+                    (Some(p), Some(old), old_future)
+                }
+                None => (None, None, 0),
+            };
+
+            let mispredicted = inst.is_control() && actual_next != f.pred_next_pc;
+            if inst.is_control() {
+                self.frontend.resolve(f.pc, inst, taken, actual_next);
+            }
+
+            self.rob.push_back(RobEntry {
+                seq,
+                pc: f.pc,
+                inst,
+                state: EntryState::Waiting,
+                srcs,
+                dest_phys,
+                old_phys,
+                old_future,
+                value,
+                mem: mem_info,
+                forwarded_from: None,
+                mem_executed: false,
+                mispredicted,
+                actual_next,
+            });
+            self.stats.rob_high_water = self.stats.rob_high_water.max(self.rob.len());
+
+            if inst == Inst::Halt {
+                // Stop consuming; the halt commits when it reaches the head.
+                break;
+            }
+            if mispredicted {
+                self.stats.mispredicts += 1;
+                self.fetch_blocked_on = Some(seq);
+                break;
+            }
+            let _ = now;
+        }
+    }
+
+    /// The architectural bytes a load at `seq` reads: backing memory
+    /// overlaid, in program order, with older in-flight (uncommitted)
+    /// stores — whose values are known functionally at rename.
+    fn read_through_sq(&self, mem: &MemSystem, seq: Seq, addr: u64, bytes: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        for i in 0..bytes {
+            buf[i as usize] = mem.mem().read_u8(addr + i);
+        }
+        // `self.rob` does not yet contain `seq` (called from rename), and
+        // entries are program-ordered, so a simple forward walk applies
+        // stores oldest-to-youngest.
+        for e in self.rob.iter() {
+            if e.seq >= seq {
+                break;
+            }
+            let Some((saddr, sbytes, true, svalue)) = e.mem else {
+                continue;
+            };
+            let s_end = saddr + sbytes;
+            let l_end = addr + bytes;
+            if addr >= s_end || saddr >= l_end {
+                continue;
+            }
+            for i in 0..sbytes {
+                let byte_addr = saddr + i;
+                if byte_addr >= addr && byte_addr < l_end {
+                    buf[(byte_addr - addr) as usize] = (svalue >> (8 * i)) as u8;
+                }
+            }
+        }
+        let raw = u64::from_le_bytes(buf);
+        if bytes == 8 {
+            raw
+        } else {
+            raw & ((1u64 << (bytes * 8)) - 1)
+        }
+    }
+
+    // ------------------------------------------------------------- issue
+
+    fn issue(&mut self, now: Cycle, mem: &mut MemSystem) {
+        let mut issued = 0;
+        let mut mem_ops = 0;
+        let mut squash_at: Option<(Seq, u64)> = None;
+        let mut redirect: Option<(Cycle, u64)> = None;
+
+        for idx in 0..self.rob.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let e = &self.rob[idx];
+            if e.state != EntryState::Waiting {
+                continue;
+            }
+            // Source readiness.
+            let ready = e
+                .srcs
+                .iter()
+                .flatten()
+                .map(|&p| self.phys_ready[p])
+                .max()
+                .unwrap_or(0);
+            if ready > now {
+                continue;
+            }
+
+            let seq = e.seq;
+            let inst = e.inst;
+            let is_mem = inst.is_mem();
+            if is_mem && mem_ops >= self.cfg.dcache_ports {
+                continue;
+            }
+
+            let done_at = match e.mem {
+                Some((addr, bytes, false, _)) => {
+                    // Load (or prefetch): forwarding / memory.
+                    match self.lookup_forward(seq, addr, bytes) {
+                        ForwardState::Forward(from) => {
+                            self.stats.forwards += 1;
+                            self.rob[idx].forwarded_from = Some(from);
+                            now + 2
+                        }
+                        ForwardState::WaitData => continue, // retry next cycle
+                        ForwardState::Memory => {
+                            mem_ops += 1;
+                            let kind = if matches!(inst, Inst::Prefetch { .. }) {
+                                AccessKind::Prefetch
+                            } else {
+                                AccessKind::Load
+                            };
+                            let out = mem.access_pc(now, self.id, kind, addr, self.rob[idx].pc);
+                            out.ready_at.max(now + 1)
+                        }
+                    }
+                }
+                Some((addr, bytes, true, _)) => {
+                    // Store: address+data resolved. Check younger executed
+                    // loads for a memory-order violation.
+                    if let Some(v) = self.find_violation(seq, addr, bytes) {
+                        self.stats.violations += 1;
+                        squash_at = Some(v);
+                        self.rob[idx].mem_executed = true;
+                        self.rob[idx].state = EntryState::Issued(now + 1);
+                        break;
+                    }
+                    now + 1
+                }
+                None => now + self.cfg.latency.of(inst),
+            };
+
+            let e = &mut self.rob[idx];
+            e.state = EntryState::Issued(done_at);
+            e.mem_executed = true;
+            if let Some(p) = e.dest_phys {
+                self.phys_ready[p] = done_at;
+            }
+            if e.mispredicted {
+                redirect = Some((done_at, e.actual_next));
+            }
+            issued += 1;
+            self.stats.issued += 1;
+        }
+
+        if let Some((done_at, target)) = redirect {
+            self.frontend.redirect(done_at, target);
+            self.fetch_blocked_on = None;
+            self.phantom = None;
+            self.phantom_count = 0;
+        }
+        if let Some((seq, pc)) = squash_at {
+            self.squash_from(now, seq, pc);
+        }
+    }
+
+    fn lookup_forward(&self, seq: Seq, addr: u64, bytes: u64) -> ForwardState {
+        // Youngest older overlapping store decides.
+        for e in self.rob.iter().rev() {
+            if e.seq >= seq {
+                continue;
+            }
+            let Some((saddr, sbytes, true, _)) = e.mem else {
+                continue;
+            };
+            let s_end = saddr + sbytes;
+            let l_end = addr + bytes;
+            if addr >= s_end || saddr >= l_end {
+                continue;
+            }
+            let covers = saddr <= addr && l_end <= s_end;
+            if e.mem_executed {
+                if covers {
+                    return ForwardState::Forward(e.seq);
+                }
+                // Partial overlap with a resolved store: wait for it to
+                // drain (conservative but rare).
+                return ForwardState::WaitData;
+            }
+            // Unresolved older store: speculate past it (aggressive
+            // disambiguation); a violation squash fixes mistakes.
+            return ForwardState::Memory;
+        }
+        ForwardState::Memory
+    }
+
+    /// A store at `seq` resolving `addr` checks younger executed loads
+    /// that did not forward from it (or anything younger).
+    fn find_violation(&self, seq: Seq, addr: u64, bytes: u64) -> Option<(Seq, u64)> {
+        for e in self.rob.iter() {
+            if e.seq <= seq || !e.mem_executed {
+                continue;
+            }
+            let Some((laddr, lbytes, false, _)) = e.mem else {
+                continue;
+            };
+            let s_end = addr + bytes;
+            let l_end = laddr + lbytes;
+            if laddr >= s_end || addr >= l_end {
+                continue;
+            }
+            match e.forwarded_from {
+                Some(from) if from >= seq => continue, // saw this store or newer
+                _ => return Some((e.seq, e.pc)),
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------- squash
+
+    /// Squashes every entry with `seq >= from` and refetches from `pc`.
+    fn squash_from(&mut self, now: Cycle, from: Seq, pc: u64) {
+        while let Some(e) = self.rob.back() {
+            if e.seq < from {
+                break;
+            }
+            let e = self.rob.pop_back().expect("checked back");
+            if let (Some(dest), Some(old)) = (e.dest_phys, e.old_phys) {
+                let rd = e.inst.dest().expect("dest_phys implies dest");
+                self.rat[rd.index()] = old;
+                self.future[rd.index()] = e.old_future;
+                self.free.push(dest);
+            }
+        }
+        self.seq = from - 1;
+        if self
+            .fetch_blocked_on
+            .is_some_and(|s| s >= from)
+        {
+            self.fetch_blocked_on = None;
+            self.phantom = None;
+            self.phantom_count = 0;
+        }
+        self.frontend.redirect(now + 1, pc);
+    }
+
+    // ------------------------------------------------------------- commit
+
+    fn commit(&mut self, now: Cycle, mem: &mut MemSystem) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else {
+                break;
+            };
+            let EntryState::Issued(done_at) = head.state else {
+                break;
+            };
+            if done_at > now {
+                break;
+            }
+            let e = self.rob.pop_front().expect("checked front");
+            let mut store = None;
+            if let Some((addr, bytes, true, value)) = e.mem {
+                mem.access(now, self.id, AccessKind::Store, addr);
+                mem.write(addr, bytes, value);
+                store = Some((addr, bytes, value));
+            }
+            if let Some(old) = e.old_phys {
+                self.free.push(old);
+            }
+            let reg_write = match (e.inst.dest(), e.value) {
+                (Some(rd), Some(v)) => Some((rd, v)),
+                _ => None,
+            };
+            self.commits.push(Commit {
+                seq: e.seq,
+                pc: e.pc,
+                inst: e.inst,
+                reg_write,
+                store,
+                at: now,
+            });
+            if e.inst == Inst::Halt {
+                self.halted = true;
+                break;
+            }
+        }
+    }
+}
+
+enum ForwardState {
+    Forward(Seq),
+    WaitData,
+    Memory,
+}
+
+impl Core for OooCore {
+    fn tick(&mut self, mem: &mut MemSystem) {
+        let now = self.cycle;
+        self.cycle += 1;
+        if self.halted {
+            return;
+        }
+        self.frontend.tick(now, mem, self.id);
+        self.commit(now, mem);
+        self.issue(now, mem);
+        self.rename(now, mem);
+    }
+
+    fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    fn retired(&self) -> u64 {
+        self.seq
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn drain_commits(&mut self) -> Vec<Commit> {
+        std::mem::take(&mut self.commits)
+    }
+
+    fn core_id(&self) -> usize {
+        self.id
+    }
+
+    fn model_name(&self) -> &'static str {
+        "out-of-order"
+    }
+}

@@ -1,0 +1,35 @@
+//! # sst-ooo
+//!
+//! The out-of-order baseline the paper compares SST against: register
+//! renaming (RAT + physical register file + free list), a reorder buffer,
+//! a unified issue queue, and a load/store queue with store-to-load
+//! forwarding and aggressive memory-disambiguation speculation (younger
+//! loads may issue past older stores with unresolved addresses; violations
+//! squash and refetch).
+//!
+//! These are precisely the structures SST's checkpoint architecture
+//! eliminates, so this model's configuration knobs (ROB, issue queue, LSQ
+//! sizes, widths) are the area/power cost axis of the study (experiment
+//! E9), and its performance is the bar for the headline claim (E4).
+//!
+//! ## Modeling choices (favourable to the OoO baseline)
+//!
+//! * **No wrong-path pollution**: on a mispredicted branch the model stops
+//!   renaming instead of executing wrong-path work, and restarts fetch when
+//!   the branch executes (resolution-latency-accurate penalty without
+//!   wrong-path cache/bandwidth interference).
+//! * **Selective violation recovery**: a memory-order violation squashes
+//!   from the offending load, not the whole pipeline.
+//! * **Free forwarding**: store-to-load forwarding costs 2 cycles and no
+//!   cache port.
+//!
+//! Because every favourable simplification helps the OoO side, the
+//! SST-vs-OoO comparisons in the benchmark harness are conservative for
+//! the paper's claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core;
+
+pub use crate::core::{OooConfig, OooCore, OooStats};

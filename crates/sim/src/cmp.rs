@@ -1,0 +1,192 @@
+//! Chip-multiprocessor simulation: `n` cores over a shared L2, running a
+//! multiprogrammed workload mix (disjoint address slots, as in the paper's
+//! throughput methodology — no data sharing, so no coherence traffic).
+
+use sst_mem::{Cycle, MemConfig, MemStats, MemSystem};
+use sst_uarch::Core;
+use sst_workloads::{Scale, Workload};
+
+use crate::CoreModel;
+
+/// Result of a CMP run.
+#[derive(Clone, Debug)]
+pub struct CmpResult {
+    /// Model label.
+    pub model: String,
+    /// Per-core (cycles, instructions) at each core's own halt.
+    pub per_core: Vec<(Cycle, u64)>,
+    /// Cycles until every core halted.
+    pub cycles: Cycle,
+    /// Shared memory statistics.
+    pub mem: MemStats,
+}
+
+impl CmpResult {
+    /// Aggregate throughput: total instructions / makespan cycles.
+    pub fn throughput_ipc(&self) -> f64 {
+        let insts: u64 = self.per_core.iter().map(|&(_, i)| i).sum();
+        insts as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Mean per-core IPC measured over each core's own runtime.
+    pub fn mean_core_ipc(&self) -> f64 {
+        let sum: f64 = self
+            .per_core
+            .iter()
+            .map(|&(c, i)| i as f64 / c.max(1) as f64)
+            .sum();
+        sum / self.per_core.len().max(1) as f64
+    }
+}
+
+/// An `n`-core chip: private L1s, shared banked L2, one DRAM channel.
+pub struct CmpSystem {
+    cores: Vec<Box<dyn Core>>,
+    mem: MemSystem,
+    model_label: String,
+}
+
+impl CmpSystem {
+    /// Builds a CMP where every core runs `workload_name` (per-core seeds
+    /// and address slots differ, so the mix is homogeneous but not
+    /// identical).
+    pub fn homogeneous(
+        model: CoreModel,
+        workload_name: &str,
+        scale: Scale,
+        seed: u64,
+        n_cores: usize,
+        mem_cfg: &MemConfig,
+    ) -> CmpSystem {
+        assert!(n_cores > 0);
+        let mut mem = MemSystem::new(mem_cfg, n_cores);
+        let mut cores: Vec<Box<dyn Core>> = Vec::new();
+        for id in 0..n_cores {
+            let w = Workload::by_name_slot(workload_name, scale, seed + id as u64, id)
+                .expect("known workload");
+            w.program.load_into(mem.mem_mut());
+            cores.push(model.build(id, &w.program));
+        }
+        CmpSystem {
+            cores,
+            mem,
+            model_label: model.label(),
+        }
+    }
+
+    /// Builds a CMP from an explicit per-core workload list.
+    pub fn mix(model: CoreModel, mix: &[&str], scale: Scale, seed: u64, mem_cfg: &MemConfig) -> CmpSystem {
+        assert!(!mix.is_empty());
+        let mut mem = MemSystem::new(mem_cfg, mix.len());
+        let mut cores: Vec<Box<dyn Core>> = Vec::new();
+        for (id, name) in mix.iter().enumerate() {
+            let w = Workload::by_name_slot(name, scale, seed + id as u64, id)
+                .expect("known workload");
+            w.program.load_into(mem.mem_mut());
+            cores.push(model.build(id, &w.program));
+        }
+        CmpSystem {
+            cores,
+            mem,
+            model_label: model.label(),
+        }
+    }
+
+    /// Runs until every core halts (cores that finish early sit idle,
+    /// matching a fixed-work throughput experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any core fails to halt within `max_cycles`.
+    pub fn run(mut self, max_cycles: Cycle) -> CmpResult {
+        let n = self.cores.len();
+        let mut per_core: Vec<Option<(Cycle, u64)>> = vec![None; n];
+        let mut done = 0;
+        let mut now: Cycle = 0;
+        while done < n {
+            assert!(now < max_cycles, "CMP did not finish in {max_cycles} cycles");
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                if per_core[i].is_some() {
+                    continue;
+                }
+                core.tick(&mut self.mem);
+                core.drain_commits(); // throughput runs skip cosim
+                if core.halted() {
+                    per_core[i] = Some((core.cycle(), core.retired()));
+                    done += 1;
+                }
+            }
+            now += 1;
+        }
+        CmpResult {
+            model: self.model_label,
+            per_core: per_core.into_iter().map(|x| x.expect("all halted")).collect(),
+            cycles: now,
+            mem: self.mem.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_core_mix_runs() {
+        let r = CmpSystem::mix(
+            CoreModel::Sst,
+            &["gzip", "gzip", "gzip", "gzip"],
+            Scale::Smoke,
+            1,
+            &MemConfig::default(),
+        )
+        .run(100_000_000);
+        assert_eq!(r.per_core.len(), 4);
+        assert!(r.throughput_ipc() > 0.0);
+        assert!(r.mean_core_ipc() > 0.0);
+    }
+
+    #[test]
+    fn shared_l2_sees_all_cores() {
+        let r = CmpSystem::homogeneous(
+            CoreModel::InOrder,
+            "erp",
+            Scale::Smoke,
+            9,
+            2,
+            &MemConfig::default(),
+        )
+        .run(200_000_000);
+        assert!(r.mem.l1d[0].accesses > 0);
+        assert!(r.mem.l1d[1].accesses > 0);
+        assert!(r.mem.l2.accesses > 0);
+    }
+
+    #[test]
+    fn more_cores_more_throughput_when_uncontended() {
+        let one = CmpSystem::homogeneous(
+            CoreModel::InOrder,
+            "gzip",
+            Scale::Smoke,
+            5,
+            1,
+            &MemConfig::default(),
+        )
+        .run(200_000_000);
+        let four = CmpSystem::homogeneous(
+            CoreModel::InOrder,
+            "gzip",
+            Scale::Smoke,
+            5,
+            4,
+            &MemConfig::default(),
+        )
+        .run(200_000_000);
+        assert!(
+            four.throughput_ipc() > one.throughput_ipc() * 2.5,
+            "cache-resident work should scale: {} vs {}",
+            four.throughput_ipc(),
+            one.throughput_ipc()
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Single-core simulation with warm-up accounting and optional
+//! co-simulation.
+
+use sst_mem::{Cycle, MemConfig, MemStats, MemSystem};
+use sst_uarch::Core;
+use sst_workloads::Workload;
+
+use crate::{CoreModel, CosimError, RetireChecker};
+
+/// Result of a single-core run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Model label.
+    pub model: String,
+    /// Workload name.
+    pub workload: String,
+    /// Total cycles to `halt`.
+    pub cycles: Cycle,
+    /// Total instructions committed.
+    pub insts: u64,
+    /// Cycles consumed by the warm-up window.
+    pub warmup_cycles: Cycle,
+    /// Instructions in the warm-up window.
+    pub warmup_insts: u64,
+    /// Memory-hierarchy statistics.
+    pub mem: MemStats,
+}
+
+impl RunResult {
+    /// Whole-run IPC.
+    pub fn ipc(&self) -> f64 {
+        self.insts as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Steady-state IPC (warm-up window excluded).
+    ///
+    /// Execute-ahead-style cores can commit in large end-of-run bursts
+    /// (an epoch that never drains mid-run); when the post-warm-up window
+    /// degenerates to under 10% of the run, the whole-run IPC is the
+    /// honest figure and is returned instead.
+    pub fn measured_ipc(&self) -> f64 {
+        let insts = self.insts - self.warmup_insts;
+        let cycles = self.cycles - self.warmup_cycles;
+        if cycles * 10 < self.cycles {
+            return self.ipc();
+        }
+        insts as f64 / cycles.max(1) as f64
+    }
+
+    /// Measured-window cycles.
+    pub fn measured_cycles(&self) -> Cycle {
+        self.cycles - self.warmup_cycles
+    }
+}
+
+/// A single core attached to its own memory hierarchy, running one
+/// workload.
+pub struct System {
+    core: Box<dyn Core>,
+    mem: MemSystem,
+    workload_name: &'static str,
+    skip_insts: u64,
+    model_label: String,
+    checker: Option<RetireChecker>,
+}
+
+impl System {
+    /// Builds a system with the default memory configuration.
+    pub fn new(model: CoreModel, workload: &Workload) -> System {
+        System::with_mem(model, workload, &MemConfig::default())
+    }
+
+    /// Builds a system with an explicit memory configuration (latency and
+    /// structure sweeps).
+    pub fn with_mem(model: CoreModel, workload: &Workload, mem_cfg: &MemConfig) -> System {
+        let mut mem = MemSystem::new(mem_cfg, 1);
+        workload.program.load_into(mem.mem_mut());
+        System {
+            core: model.build(0, &workload.program),
+            mem,
+            workload_name: workload.name,
+            skip_insts: workload.skip_insts,
+            model_label: model.label(),
+            checker: Some(RetireChecker::new(&workload.program)),
+        }
+    }
+
+    /// Disables per-commit co-simulation (saves ~2x wall clock on large
+    /// sweeps; the test suite keeps it on).
+    pub fn without_cosim(mut self) -> System {
+        self.checker = None;
+        self
+    }
+
+    /// Runs to `halt`, co-simulating every commit when enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CosimError`], or an error-shaped divergence when
+    /// the core fails to finish within `max_cycles`.
+    pub fn run_checked(mut self, max_cycles: Cycle) -> Result<RunResult, CosimError> {
+        let mut warmup_cycles = 0;
+        let mut committed = 0u64;
+
+        while !self.core.halted() {
+            if self.core.cycle() >= max_cycles {
+                return Err(CosimError {
+                    at: committed,
+                    what: format!(
+                        "{} on {} did not halt within {max_cycles} cycles",
+                        self.model_label, self.workload_name
+                    ),
+                });
+            }
+            self.core.tick(&mut self.mem);
+            let commits = self.core.drain_commits();
+            for c in &commits {
+                if let Some(ck) = self.checker.as_mut() {
+                    ck.check(c)?;
+                }
+                committed += 1;
+                if committed == self.skip_insts {
+                    warmup_cycles = self.core.cycle();
+                }
+            }
+        }
+        // Drain any commits recorded in the final tick.
+        for c in self.core.drain_commits() {
+            if let Some(ck) = self.checker.as_mut() {
+                ck.check(&c)?;
+            }
+            committed += 1;
+        }
+
+        Ok(RunResult {
+            model: self.model_label,
+            workload: self.workload_name.to_string(),
+            cycles: self.core.cycle(),
+            insts: committed,
+            warmup_cycles,
+            warmup_insts: self.skip_insts.min(committed),
+            mem: self.mem.stats(),
+        })
+    }
+
+    /// Convenience: build + run one (model, workload) pair, panicking on
+    /// divergence — the form every experiment binary uses.
+    pub fn measure(model: CoreModel, workload: &Workload, max_cycles: Cycle) -> RunResult {
+        System::new(model, workload)
+            .run_checked(max_cycles)
+            .expect("co-simulation clean")
+    }
+}
+
+/// Geometric mean of a slice of positive ratios.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_workloads::{Scale, Workload};
+
+    #[test]
+    fn run_produces_sane_result() {
+        let w = Workload::by_name("gzip", Scale::Smoke, 3).unwrap();
+        let r = System::measure(CoreModel::InOrder, &w, 50_000_000);
+        assert!(r.cycles > 0);
+        assert!(r.insts > w.skip_insts);
+        assert!(r.ipc() > 0.05 && r.ipc() < 2.0, "ipc {}", r.ipc());
+        assert!(r.measured_ipc() > 0.0);
+        assert!(r.warmup_cycles < r.cycles);
+    }
+
+    #[test]
+    fn cosim_runs_for_all_models_on_a_memory_workload() {
+        let w = Workload::by_name("erp", Scale::Smoke, 3).unwrap();
+        for m in CoreModel::lineup() {
+            let label = m.label();
+            let r = System::new(m, &w)
+                .run_checked(100_000_000)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert!(r.insts > 0);
+        }
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let w = Workload::by_name("oltp", Scale::Smoke, 3).unwrap();
+        let e = System::new(CoreModel::InOrder, &w)
+            .run_checked(100)
+            .unwrap_err();
+        assert!(e.what.contains("did not halt"));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! The interface every core model implements, and the commit-event record
+//! used for co-simulation against the functional golden model.
+
+use sst_isa::{Inst, Reg};
+use sst_mem::{Cycle, MemSystem};
+
+use crate::Seq;
+
+/// One architecturally committed instruction, as reported by a core.
+///
+/// Cores emit these **in program order** (sequence numbers strictly
+/// increase) and only for instructions that are architecturally final —
+/// squashed speculation must never surface here. `sst-sim`'s
+/// `RetireChecker` locksteps this stream against the reference interpreter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Commit {
+    /// Program-order sequence number (starts at 1, no gaps).
+    pub seq: Seq,
+    /// PC of the instruction.
+    pub pc: u64,
+    /// The instruction.
+    pub inst: Inst,
+    /// Architectural register write, if any (`x0` writes are reported as
+    /// `None`).
+    pub reg_write: Option<(Reg, u64)>,
+    /// Store performed, if any: (address, bytes, value).
+    pub store: Option<(u64, u64, u64)>,
+    /// Cycle at which the instruction committed.
+    pub at: Cycle,
+}
+
+/// A cycle-level core model.
+///
+/// The simulation driver owns the [`MemSystem`] and advances each core one
+/// cycle at a time; cores keep their own cycle counters (all cores in a
+/// system share the same clock, so drivers tick them in lockstep).
+pub trait Core {
+    /// Advances the core by one clock cycle.
+    fn tick(&mut self, mem: &mut MemSystem);
+
+    /// Cycles elapsed so far.
+    fn cycle(&self) -> Cycle;
+
+    /// Instructions architecturally committed so far.
+    fn retired(&self) -> u64;
+
+    /// `true` once the program's `halt` has committed.
+    fn halted(&self) -> bool;
+
+    /// Removes and returns the commits recorded since the last call, in
+    /// program order.
+    fn drain_commits(&mut self) -> Vec<Commit>;
+
+    /// The core's index in the shared memory system.
+    fn core_id(&self) -> usize;
+
+    /// A short human-readable model name ("in-order", "sst", ...).
+    fn model_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_is_plain_data() {
+        let c = Commit {
+            seq: 1,
+            pc: 0x1000,
+            inst: Inst::Halt,
+            reg_write: None,
+            store: None,
+            at: 5,
+        };
+        let d = c;
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,267 @@
+//! The deferred queue (DQ).
+//!
+//! When an SST core encounters an instruction whose source is "not there"
+//! (NT), it parks the instruction here together with the source operands
+//! that *were* available — eliminating WAR hazards without register
+//! renaming, which is the paper's key structural saving. Replay walks the
+//! queue in program order, possibly over multiple passes (entries whose
+//! inputs are still missing are retained for the next pass).
+
+use sst_isa::Inst;
+use sst_mem::Cycle;
+
+use crate::Seq;
+
+/// One deferred instruction.
+#[derive(Clone, Copy, Debug)]
+pub struct DqEntry {
+    /// Program-order sequence number.
+    pub seq: Seq,
+    /// PC of the instruction.
+    pub pc: u64,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Operand values captured at defer time; `None` for sources that were
+    /// NT (they will come from replay-produced values).
+    pub captured: [Option<u64>; 2],
+    /// For each non-captured source: the sequence number of the deferred
+    /// instruction that will produce it. Replay looks the value up in its
+    /// produced-value table once that producer has replayed.
+    pub producers: [Option<Seq>; 2],
+    /// For deferred conditional branches: the direction that fetch
+    /// speculated. Replay compares the real outcome against this.
+    pub predicted_taken: Option<bool>,
+    /// For deferred control transfers: the next PC fetch continued at.
+    /// Replay compares the resolved target against this.
+    pub pred_next_pc: Option<u64>,
+    /// For deferred loads: cycle their miss data arrives (known at defer
+    /// time in this simulator's resolve-at-issue timing model). Replay
+    /// before this cycle is pointless.
+    pub data_ready_at: Option<Cycle>,
+}
+
+/// A bounded FIFO of deferred instructions.
+///
+/// The queue preserves program order. [`DeferredQueue::retain_ordered`]
+/// supports multi-pass replay: completed entries are removed, stuck ones
+/// stay in place.
+#[derive(Clone, Debug)]
+pub struct DeferredQueue {
+    entries: Vec<DqEntry>,
+    capacity: usize,
+    /// Maximum occupancy ever observed (reports).
+    pub high_water: usize,
+    /// Total entries ever enqueued.
+    pub total_deferred: u64,
+}
+
+impl DeferredQueue {
+    /// Creates an empty queue holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> DeferredQueue {
+        assert!(capacity > 0, "DQ needs at least one entry");
+        DeferredQueue {
+            entries: Vec::new(),
+            capacity,
+            high_water: 0,
+            total_deferred: 0,
+        }
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when no more instructions can be deferred.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Appends an entry in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (callers stall the ahead thread instead
+    /// of overflowing) or if `entry.seq` breaks program order.
+    pub fn push(&mut self, entry: DqEntry) {
+        assert!(!self.is_full(), "DQ overflow: caller must stall when full");
+        if let Some(last) = self.entries.last() {
+            assert!(last.seq < entry.seq, "DQ entries must be program-ordered");
+        }
+        self.entries.push(entry);
+        self.total_deferred += 1;
+        self.high_water = self.high_water.max(self.entries.len());
+    }
+
+    /// Iterates entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &DqEntry> {
+        self.entries.iter()
+    }
+
+    /// One replay pass: calls `f` on each entry oldest-first; entries for
+    /// which `f` returns `true` are removed (completed), the rest stay in
+    /// order. Returns the number removed.
+    pub fn retain_ordered(&mut self, mut f: impl FnMut(&DqEntry) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !f(e));
+        before - self.entries.len()
+    }
+
+    /// Drops every entry with `seq >= from` (epoch squash).
+    pub fn squash_from(&mut self, from: Seq) {
+        self.entries.retain(|e| e.seq < from);
+    }
+
+    /// Clears the queue.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Earliest `data_ready_at` among entries still waiting on data, if any.
+    pub fn next_data_ready(&self) -> Option<Cycle> {
+        self.entries.iter().filter_map(|e| e.data_ready_at).min()
+    }
+
+    /// Direct slice view (replay scans this).
+    pub fn as_slice(&self) -> &[DqEntry] {
+        &self.entries
+    }
+
+    /// Removes the entry with sequence `seq` (after successful replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such entry exists.
+    pub fn remove_seq(&mut self, seq: Seq) -> DqEntry {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.seq == seq)
+            .expect("removing a DQ entry that is not present");
+        self.entries.remove(idx)
+    }
+
+    /// Updates the data-ready cycle of entry `seq` (re-deferral of a
+    /// replayed load that missed again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such entry exists.
+    pub fn set_data_ready(&mut self, seq: Seq, ready: Cycle) {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.seq == seq)
+            .expect("updating a DQ entry that is not present");
+        e.data_ready_at = Some(ready);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_isa::Inst;
+
+    fn entry(seq: Seq) -> DqEntry {
+        DqEntry {
+            seq,
+            pc: 0x1000 + seq * 4,
+            inst: Inst::NOP,
+            captured: [None, None],
+            producers: [None, None],
+            predicted_taken: None,
+            pred_next_pc: None,
+            data_ready_at: None,
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = DeferredQueue::new(8);
+        q.push(entry(1));
+        q.push(entry(2));
+        q.push(entry(5));
+        let seqs: Vec<Seq> = q.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 5]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.total_deferred, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_push_asserts() {
+        let mut q = DeferredQueue::new(8);
+        q.push(entry(5));
+        q.push(entry(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_asserts() {
+        let mut q = DeferredQueue::new(1);
+        q.push(entry(1));
+        q.push(entry(2));
+    }
+
+    #[test]
+    fn retain_ordered_removes_completed() {
+        let mut q = DeferredQueue::new(8);
+        for s in 1..=5 {
+            q.push(entry(s));
+        }
+        // Complete the even seqs.
+        let removed = q.retain_ordered(|e| e.seq % 2 == 0);
+        assert_eq!(removed, 2);
+        let seqs: Vec<Seq> = q.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 3, 5], "survivors stay ordered");
+    }
+
+    #[test]
+    fn squash_from_drops_young_suffix() {
+        let mut q = DeferredQueue::new(8);
+        for s in 1..=5 {
+            q.push(entry(s));
+        }
+        q.squash_from(3);
+        let seqs: Vec<Seq> = q.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut q = DeferredQueue::new(8);
+        for s in 1..=4 {
+            q.push(entry(s));
+        }
+        q.retain_ordered(|_| true);
+        assert!(q.is_empty());
+        assert_eq!(q.high_water, 4);
+    }
+
+    #[test]
+    fn next_data_ready_minimum() {
+        let mut q = DeferredQueue::new(8);
+        let mut e1 = entry(1);
+        e1.data_ready_at = Some(500);
+        let mut e2 = entry(2);
+        e2.data_ready_at = Some(300);
+        q.push(e1);
+        q.push(e2);
+        q.push(entry(3)); // no data dependence
+        assert_eq!(q.next_data_ready(), Some(300));
+    }
+}

@@ -1,0 +1,454 @@
+//! Fetch + decode frontend with branch prediction.
+//!
+//! Every core model uses this same frontend, so fetch bandwidth and
+//! prediction quality are identical across the SST study's comparisons.
+//! The frontend fetches up to `width` instructions per cycle from the L1I
+//! (stalling on I-cache misses), decodes them, predicts control flow, and
+//! queues [`FetchedInst`]s for the core to consume.
+
+use std::collections::VecDeque;
+
+use sst_branch::{BranchKind, BranchUnit, Prediction, PredictorKind};
+use sst_isa::{decode, Inst, Reg, INST_BYTES};
+use sst_mem::{AccessKind, Cycle, MemSystem};
+
+/// Frontend configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontendConfig {
+    /// Instructions fetched per cycle.
+    pub width: usize,
+    /// Decode-queue depth.
+    pub queue_depth: usize,
+    /// Direction predictor.
+    pub predictor: PredictorKind,
+    /// BTB entries (power of two).
+    pub btb_entries: usize,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+    /// Bubble cycles charged on every redirect (pipeline refill).
+    pub redirect_penalty: Cycle,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> FrontendConfig {
+        FrontendConfig {
+            width: 2,
+            queue_depth: 16,
+            predictor: PredictorKind::Gshare { bits: 13 },
+            btb_entries: 1024,
+            ras_depth: 8,
+            redirect_penalty: 6,
+        }
+    }
+}
+
+/// A fetched, decoded, direction-predicted instruction.
+#[derive(Clone, Copy, Debug)]
+pub struct FetchedInst {
+    /// PC of the instruction.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Predicted direction (always `true` for unconditional control,
+    /// meaningless for non-control).
+    pub pred_taken: bool,
+    /// The PC fetch continued at after this instruction.
+    pub pred_next_pc: u64,
+    /// Direction-predictor confidence at fetch time (`true` for
+    /// non-control and unconditional instructions).
+    pub pred_confident: bool,
+}
+
+/// Classifies a control instruction for the branch unit.
+pub(crate) fn branch_kind(inst: Inst) -> Option<BranchKind> {
+    match inst {
+        Inst::Branch { .. } => Some(BranchKind::Conditional),
+        Inst::Jal { rd, .. } => {
+            if rd == Reg::LINK {
+                Some(BranchKind::IndirectCall) // call: pushes the RAS
+            } else {
+                Some(BranchKind::Direct)
+            }
+        }
+        Inst::Jalr { rd, base, .. } => {
+            if base == Reg::LINK && rd != Reg::LINK {
+                Some(BranchKind::Return)
+            } else if rd == Reg::LINK {
+                Some(BranchKind::IndirectCall)
+            } else {
+                Some(BranchKind::Indirect)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The fetch/decode engine.
+pub struct Frontend {
+    cfg: FrontendConfig,
+    unit: BranchUnit,
+    fetch_pc: u64,
+    queue: VecDeque<FetchedInst>,
+    stalled_until: Cycle,
+    /// Waiting for an indirect target the BTB/RAS could not supply; cleared
+    /// by [`Frontend::redirect`].
+    waiting_indirect: bool,
+    /// Fetched undecodable bytes (deep wrong-path); cleared by redirect.
+    bad_path: bool,
+    /// Fetched a `halt`; stop until redirected.
+    saw_halt: bool,
+    /// Fetch-cycle statistics.
+    pub fetched_insts: u64,
+    /// Cycles fetch was blocked on the I-cache.
+    pub icache_stall_cycles: u64,
+}
+
+impl Frontend {
+    /// Creates a frontend fetching from `entry`.
+    pub fn new(cfg: FrontendConfig, entry: u64) -> Frontend {
+        Frontend {
+            unit: BranchUnit::new(cfg.predictor, cfg.btb_entries, cfg.ras_depth),
+            cfg,
+            fetch_pc: entry,
+            queue: VecDeque::new(),
+            stalled_until: 0,
+            waiting_indirect: false,
+            bad_path: false,
+            saw_halt: false,
+            fetched_insts: 0,
+            icache_stall_cycles: 0,
+        }
+    }
+
+    /// The shared branch unit, for resolution training.
+    pub fn branch_unit(&mut self) -> &mut BranchUnit {
+        &mut self.unit
+    }
+
+    /// Instructions currently queued for the core.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` if fetch is blocked waiting for an unpredictable indirect
+    /// target (the core must resolve the jump and redirect).
+    pub fn waiting_indirect(&self) -> bool {
+        self.waiting_indirect
+    }
+
+    /// Next instruction without consuming it.
+    pub fn peek(&self) -> Option<&FetchedInst> {
+        self.queue.front()
+    }
+
+    /// The PC at which in-order execution will continue: the next queued
+    /// instruction, or the fetch PC if the queue is empty. `None` when the
+    /// continuation is unknown (fetch parked on undecodable wrong-path
+    /// bytes). SST cores checkpoint at this PC when closing an epoch.
+    pub fn resume_pc(&self) -> Option<u64> {
+        if let Some(f) = self.queue.front() {
+            Some(f.pc)
+        } else if self.bad_path || self.waiting_indirect {
+            None
+        } else {
+            Some(self.fetch_pc)
+        }
+    }
+
+    /// Consumes the next instruction.
+    pub fn pop(&mut self) -> Option<FetchedInst> {
+        self.queue.pop_front()
+    }
+
+    /// Fetches up to `width` instructions this cycle.
+    pub fn tick(&mut self, now: Cycle, mem: &mut MemSystem, core: usize) {
+        if now < self.stalled_until {
+            self.icache_stall_cycles += 1;
+            return;
+        }
+        if self.waiting_indirect || self.bad_path || self.saw_halt {
+            return;
+        }
+        let line_bytes = mem.line_bytes();
+        let mut line_done: Option<u64> = None;
+
+        for _ in 0..self.cfg.width {
+            if self.queue.len() >= self.cfg.queue_depth {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let line = pc & !(line_bytes - 1);
+            if line_done != Some(line) {
+                let out = mem.access(now, core, AccessKind::IFetch, pc);
+                if out.ready_at > now + mem.config().l1_latency {
+                    // I-cache miss: resume when the line arrives.
+                    self.stalled_until = out.ready_at;
+                    return;
+                }
+                line_done = Some(line);
+            }
+
+            let word = mem.read(pc, 4) as u32;
+            let inst = match decode(word) {
+                Ok(i) => i,
+                Err(_) => {
+                    // Wrong-path fetch into non-text bytes; park until the
+                    // core redirects.
+                    self.bad_path = true;
+                    return;
+                }
+            };
+
+            let (pred_taken, pred_next_pc, pred_confident) = match branch_kind(inst) {
+                None => (false, pc.wrapping_add(INST_BYTES), true),
+                Some(kind) => {
+                    let p: Prediction = self.unit.predict(pc, kind);
+                    match inst {
+                        Inst::Branch { .. } => {
+                            let target = inst.direct_target(pc).expect("direct");
+                            if p.taken {
+                                (true, target, p.confident)
+                            } else {
+                                (false, pc.wrapping_add(INST_BYTES), p.confident)
+                            }
+                        }
+                        Inst::Jal { .. } => {
+                            (true, inst.direct_target(pc).expect("direct"), true)
+                        }
+                        Inst::Jalr { .. } => match p.target {
+                            Some(t) => (true, t, true),
+                            None => {
+                                // No predicted target: enqueue the jump and
+                                // block fetch until resolution.
+                                self.queue.push_back(FetchedInst {
+                                    pc,
+                                    inst,
+                                    pred_taken: true,
+                                    pred_next_pc: 0,
+                                    pred_confident: false,
+                                });
+                                self.fetched_insts += 1;
+                                self.waiting_indirect = true;
+                                return;
+                            }
+                        },
+                        _ => unreachable!("branch_kind covers only control"),
+                    }
+                }
+            };
+
+            self.queue.push_back(FetchedInst {
+                pc,
+                inst,
+                pred_taken,
+                pred_next_pc,
+                pred_confident,
+            });
+            self.fetched_insts += 1;
+
+            if inst == Inst::Halt {
+                self.saw_halt = true;
+                return;
+            }
+            self.fetch_pc = pred_next_pc;
+        }
+    }
+
+    /// Flushes the queue and restarts fetch at `pc` after the redirect
+    /// penalty. Clears indirect/bad-path/halt blocks and conservatively
+    /// repairs the RAS.
+    pub fn redirect(&mut self, now: Cycle, pc: u64) {
+        self.queue.clear();
+        self.fetch_pc = pc;
+        self.stalled_until = self.stalled_until.max(now + self.cfg.redirect_penalty);
+        self.waiting_indirect = false;
+        self.bad_path = false;
+        self.saw_halt = false;
+        self.unit.repair_ras();
+    }
+
+    /// Trains the branch unit with a resolved control instruction.
+    pub fn resolve(&mut self, pc: u64, inst: Inst, taken: bool, target: u64) {
+        if let Some(kind) = branch_kind(inst) {
+            self.unit.update(pc, kind, taken, target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_isa::{Asm, Reg};
+    use sst_mem::MemConfig;
+
+    fn setup(asm: impl FnOnce(&mut Asm)) -> (Frontend, MemSystem) {
+        let mut a = Asm::new();
+        asm(&mut a);
+        let p = a.finish().unwrap();
+        let mut ms = MemSystem::new(&MemConfig::default(), 1);
+        p.load_into(ms.mem_mut());
+        let fe = Frontend::new(FrontendConfig::default(), p.entry);
+        (fe, ms)
+    }
+
+    /// Runs ticks until `n` instructions are queued or `max` cycles pass.
+    fn run_until(fe: &mut Frontend, ms: &mut MemSystem, n: usize, max: u64) -> u64 {
+        let mut now = 0;
+        while fe.queued() < n && now < max {
+            fe.tick(now, ms, 0);
+            now += 1;
+        }
+        now
+    }
+
+    #[test]
+    fn fetches_straight_line_code() {
+        let (mut fe, mut ms) = setup(|a| {
+            a.addi(Reg::x(1), Reg::ZERO, 1);
+            a.addi(Reg::x(2), Reg::ZERO, 2);
+            a.addi(Reg::x(3), Reg::ZERO, 3);
+            a.halt();
+        });
+        run_until(&mut fe, &mut ms, 4, 1000);
+        let i1 = fe.pop().unwrap();
+        let i2 = fe.pop().unwrap();
+        assert_eq!(i2.pc, i1.pc + 4);
+        assert_eq!(i1.pred_next_pc, i2.pc);
+        assert!(!i1.pred_taken);
+    }
+
+    #[test]
+    fn first_fetch_pays_icache_miss() {
+        let (mut fe, mut ms) = setup(|a| {
+            a.nop();
+            a.halt();
+        });
+        fe.tick(0, &mut ms, 0);
+        assert_eq!(fe.queued(), 0, "cold I$ miss produces nothing");
+        let cycles = run_until(&mut fe, &mut ms, 1, 10_000);
+        assert!(cycles > 100, "stalled for the memory round trip");
+    }
+
+    #[test]
+    fn follows_predicted_taken_jal() {
+        let (mut fe, mut ms) = setup(|a| {
+            let target = a.label();
+            a.j(target); // idx 0
+            a.nop(); // idx 1 (skipped)
+            a.bind(target);
+            a.halt(); // idx 2
+        });
+        run_until(&mut fe, &mut ms, 2, 10_000);
+        let j = fe.pop().unwrap();
+        let next = fe.pop().unwrap();
+        assert!(j.pred_taken);
+        assert_eq!(next.pc, j.pc + 8, "fetch skipped the dead instruction");
+    }
+
+    #[test]
+    fn halt_stops_fetch() {
+        let (mut fe, mut ms) = setup(|a| {
+            a.halt();
+            a.nop();
+            a.nop();
+        });
+        run_until(&mut fe, &mut ms, 1, 10_000);
+        let before = fe.fetched_insts;
+        for now in 10_000..10_100 {
+            fe.tick(now, &mut ms, 0);
+        }
+        assert_eq!(fe.fetched_insts, before, "no fetch past halt");
+    }
+
+    #[test]
+    fn unpredicted_indirect_blocks_until_redirect() {
+        let (mut fe, mut ms) = setup(|a| {
+            a.jalr(Reg::ZERO, Reg::x(5), 0);
+            a.nop();
+            a.halt();
+        });
+        run_until(&mut fe, &mut ms, 1, 10_000);
+        assert!(fe.waiting_indirect());
+        let jr = fe.pop().unwrap();
+        assert!(jr.inst.is_indirect());
+        // Core resolves the target and redirects.
+        fe.redirect(20_000, jr.pc + 4);
+        assert!(!fe.waiting_indirect());
+        run_until(&mut fe, &mut ms, 1, 30_000);
+        assert!(fe.queued() >= 1);
+    }
+
+    #[test]
+    fn redirect_flushes_and_penalizes() {
+        let (mut fe, mut ms) = setup(|a| {
+            for _ in 0..8 {
+                a.nop();
+            }
+            a.halt();
+        });
+        run_until(&mut fe, &mut ms, 4, 10_000);
+        assert!(fe.queued() >= 4);
+        let restart = fe.peek().unwrap().pc;
+        fe.redirect(10_000, restart);
+        assert_eq!(fe.queued(), 0);
+        // Nothing fetched during the penalty window.
+        fe.tick(10_001, &mut ms, 0);
+        assert_eq!(fe.queued(), 0);
+        let mut now = 10_000;
+        while fe.queued() == 0 && now < 11_000 {
+            fe.tick(now, &mut ms, 0);
+            now += 1;
+        }
+        assert!(now - 10_000 >= FrontendConfig::default().redirect_penalty);
+    }
+
+    #[test]
+    fn conditional_training_changes_fetch_path() {
+        // A loop branch: after training, fetch should follow the backedge.
+        let (mut fe, mut ms) = setup(|a| {
+            let top = a.here();
+            a.addi(Reg::x(1), Reg::x(1), 1);
+            a.bne(Reg::x(1), Reg::x(2), top);
+            a.halt();
+        });
+        run_until(&mut fe, &mut ms, 2, 10_000);
+        let _i = fe.pop().unwrap();
+        let b = fe.pop().unwrap();
+        assert!(b.inst.is_branch());
+        // Train taken a few times and redirect to refetch the branch.
+        for _ in 0..4 {
+            fe.resolve(b.pc, b.inst, true, b.pc - 4);
+        }
+        fe.redirect(20_000, b.pc);
+        let mut now = 20_000;
+        while fe.queued() < 2 && now < 30_000 {
+            fe.tick(now, &mut ms, 0);
+            now += 1;
+        }
+        let b2 = fe.pop().unwrap();
+        assert!(b2.pred_taken, "trained branch predicted taken");
+        assert_eq!(b2.pred_next_pc, b.pc - 4);
+    }
+
+    #[test]
+    fn call_then_return_uses_ras() {
+        let (mut fe, mut ms) = setup(|a| {
+            let f = a.label();
+            a.call(f); // pc X
+            a.halt(); // X+4 (return lands here)
+            a.bind(f);
+            a.ret();
+        });
+        run_until(&mut fe, &mut ms, 3, 10_000);
+        let call = fe.pop().unwrap();
+        let ret = fe.pop().unwrap();
+        let after = fe.pop().unwrap();
+        assert!(matches!(call.inst, Inst::Jal { .. }));
+        assert!(matches!(ret.inst, Inst::Jalr { .. }));
+        assert_eq!(
+            after.pc,
+            call.pc + 4,
+            "RAS predicted the return to the call site"
+        );
+    }
+}

@@ -1,0 +1,414 @@
+//! The speculative store buffer.
+//!
+//! Speculative stores are held here — never released to the cache — until
+//! their epoch commits. Loads executing ahead search the buffer in program
+//! order for forwarding, and the buffer's conservative answers implement
+//! the paper's "no memory-disambiguation hardware" design point: a load
+//! behind an unknown-address store simply defers.
+
+use sst_mem::Cycle;
+
+use crate::Seq;
+
+/// One buffered store.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreEntry {
+    /// Program-order sequence number.
+    pub seq: Seq,
+    /// Store address; `None` while the address computation is deferred.
+    pub addr: Option<u64>,
+    /// Access size in bytes.
+    pub bytes: u64,
+    /// Store data; `None` while the data is not-there.
+    pub value: Option<u64>,
+}
+
+impl StoreEntry {
+    /// `true` once both address and data are known.
+    pub fn is_resolved(&self) -> bool {
+        self.addr.is_some() && self.value.is_some()
+    }
+}
+
+/// Result of a forwarding lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForwardResult {
+    /// No older store overlaps: read memory.
+    NoMatch,
+    /// Fully covered by an older store with known data.
+    Forward(u64),
+    /// Fully covered by an older store whose data is not-there; the load
+    /// must defer behind that store (its `seq` is given).
+    NotThere {
+        /// Sequence of the covering store.
+        store_seq: Seq,
+    },
+    /// Ambiguous: an older store has an unknown address, or the overlap is
+    /// partial. The load must defer and retry at replay.
+    MustWait,
+}
+
+/// A committed store released by [`StoreBuffer::drain_through`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainedStore {
+    /// Program-order sequence number.
+    pub seq: Seq,
+    /// Final address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub bytes: u64,
+    /// Final data.
+    pub value: u64,
+}
+
+/// A bounded, program-ordered speculative store buffer.
+#[derive(Clone, Debug)]
+pub struct StoreBuffer {
+    entries: Vec<StoreEntry>,
+    capacity: usize,
+    /// Maximum occupancy observed.
+    pub high_water: usize,
+    /// Total stores buffered.
+    pub total_stores: u64,
+    /// Loads answered by forwarding.
+    pub forwards: u64,
+    /// Loads forced to wait (unknown address / partial overlap).
+    pub must_waits: u64,
+}
+
+impl StoreBuffer {
+    /// Creates a buffer of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> StoreBuffer {
+        assert!(capacity > 0, "store buffer needs at least one entry");
+        StoreBuffer {
+            entries: Vec::new(),
+            capacity,
+            high_water: 0,
+            total_stores: 0,
+            forwards: 0,
+            must_waits: 0,
+        }
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when no more stores can be buffered.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Appends a store in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow (callers stall instead) or out-of-order push.
+    pub fn push(&mut self, entry: StoreEntry) {
+        assert!(
+            !self.is_full(),
+            "store buffer overflow: caller must stall when full"
+        );
+        if let Some(last) = self.entries.last() {
+            assert!(
+                last.seq < entry.seq,
+                "store buffer entries must be program-ordered"
+            );
+        }
+        self.entries.push(entry);
+        self.total_stores += 1;
+        self.high_water = self.high_water.max(self.entries.len());
+    }
+
+    /// Fills in a deferred store's address and/or value at replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry with `seq` exists.
+    pub fn resolve(&mut self, seq: Seq, addr: u64, value: u64) {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.seq == seq)
+            .expect("resolving a store that is not buffered");
+        e.addr = Some(addr);
+        e.value = Some(value);
+    }
+
+    /// Forwarding lookup for a load at `seq` reading `bytes` at `addr`.
+    ///
+    /// Searches older stores youngest-first; see [`ForwardResult`].
+    pub fn forward(&mut self, seq: Seq, addr: u64, bytes: u64) -> ForwardResult {
+        for e in self.entries.iter().rev() {
+            if e.seq >= seq {
+                continue;
+            }
+            let Some(saddr) = e.addr else {
+                self.must_waits += 1;
+                return ForwardResult::MustWait;
+            };
+            let s_end = saddr + e.bytes;
+            let l_end = addr + bytes;
+            let overlap = addr < s_end && saddr < l_end;
+            if !overlap {
+                continue;
+            }
+            let covers = saddr <= addr && l_end <= s_end;
+            if !covers {
+                self.must_waits += 1;
+                return ForwardResult::MustWait;
+            }
+            return match e.value {
+                Some(v) => {
+                    self.forwards += 1;
+                    let shift = (addr - saddr) * 8;
+                    let shifted = v >> shift;
+                    let out = if bytes == 8 {
+                        shifted
+                    } else {
+                        shifted & ((1u64 << (bytes * 8)) - 1)
+                    };
+                    ForwardResult::Forward(out)
+                }
+                None => ForwardResult::NotThere { store_seq: e.seq },
+            };
+        }
+        ForwardResult::NoMatch
+    }
+
+    /// `true` if any store older than `seq` has an unresolved address.
+    pub fn unknown_addr_before(&self, seq: Seq) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.seq < seq && e.addr.is_none())
+    }
+
+    /// Commits and removes every store with `seq <= through`, in program
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any drained store is still unresolved — commit of an epoch
+    /// with unresolved stores is a core-model bug.
+    pub fn drain_through(&mut self, through: Seq) -> Vec<DrainedStore> {
+        let mut out = Vec::new();
+        self.entries.retain(|e| {
+            if e.seq <= through {
+                out.push(DrainedStore {
+                    seq: e.seq,
+                    addr: e.addr.expect("committing store with unknown address"),
+                    bytes: e.bytes,
+                    value: e.value.expect("committing store with unknown data"),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// Squashes every store with `seq >= from` (epoch rollback).
+    pub fn squash_from(&mut self, from: Seq) {
+        self.entries.retain(|e| e.seq < from);
+    }
+
+    /// Reads `bytes` at `addr` as seen by the load at `seq`: backing memory
+    /// overlaid, in program order, with every older buffered store that
+    /// overlaps. Returns `None` if any older overlapping (or
+    /// unknown-address) store is unresolved — the load must keep waiting.
+    ///
+    /// This is the replay-path load semantics; the ahead path uses the
+    /// cheaper [`StoreBuffer::forward`].
+    pub fn read_overlay(
+        &self,
+        seq: Seq,
+        addr: u64,
+        bytes: u64,
+        mem: &sst_isa::SparseMem,
+    ) -> Option<u64> {
+        // Any older store with an unknown address is a potential alias.
+        if self.unknown_addr_before(seq) {
+            return None;
+        }
+        let mut buf = [0u8; 8];
+        for i in 0..bytes {
+            buf[i as usize] = mem.read_u8(addr + i);
+        }
+        for e in self.entries.iter() {
+            if e.seq >= seq {
+                break;
+            }
+            let saddr = e.addr.expect("unknown addrs were screened above");
+            let s_end = saddr + e.bytes;
+            let l_end = addr + bytes;
+            if addr >= s_end || saddr >= l_end {
+                continue;
+            }
+            let value = e.value?; // overlapping but data not-there: wait
+            for i in 0..e.bytes {
+                let byte_addr = saddr + i;
+                if byte_addr >= addr && byte_addr < l_end {
+                    buf[(byte_addr - addr) as usize] = (value >> (8 * i)) as u8;
+                }
+            }
+        }
+        Some(u64::from_le_bytes(buf) & if bytes == 8 { u64::MAX } else { (1 << (bytes * 8)) - 1 })
+    }
+
+    /// Iterates entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &StoreEntry> {
+        self.entries.iter()
+    }
+
+    /// Suppress unused warnings for timing-typed code paths.
+    #[doc(hidden)]
+    pub fn _cycle_marker(_: Cycle) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(seq: Seq, addr: u64, bytes: u64, value: u64) -> StoreEntry {
+        StoreEntry {
+            seq,
+            addr: Some(addr),
+            bytes,
+            value: Some(value),
+        }
+    }
+
+    #[test]
+    fn forward_exact_match() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(store(1, 0x100, 8, 0xdead_beef));
+        assert_eq!(sb.forward(5, 0x100, 8), ForwardResult::Forward(0xdead_beef));
+        assert_eq!(sb.forwards, 1);
+    }
+
+    #[test]
+    fn forward_subrange_extracts_bytes() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(store(1, 0x100, 8, 0x8877_6655_4433_2211));
+        assert_eq!(sb.forward(5, 0x102, 2), ForwardResult::Forward(0x4433));
+        assert_eq!(sb.forward(5, 0x100, 1), ForwardResult::Forward(0x11));
+        assert_eq!(sb.forward(5, 0x107, 1), ForwardResult::Forward(0x88));
+    }
+
+    #[test]
+    fn youngest_older_store_wins() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(store(1, 0x100, 8, 111));
+        sb.push(store(2, 0x100, 8, 222));
+        assert_eq!(sb.forward(5, 0x100, 8), ForwardResult::Forward(222));
+        // A load *between* them sees the first only.
+        assert_eq!(sb.forward(2, 0x100, 8), ForwardResult::Forward(111));
+    }
+
+    #[test]
+    fn younger_stores_invisible() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(store(10, 0x100, 8, 999));
+        assert_eq!(sb.forward(5, 0x100, 8), ForwardResult::NoMatch);
+    }
+
+    #[test]
+    fn partial_overlap_waits() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(store(1, 0x100, 4, 0xaabbccdd));
+        assert_eq!(sb.forward(5, 0x102, 4), ForwardResult::MustWait);
+        assert_eq!(sb.must_waits, 1);
+    }
+
+    #[test]
+    fn unknown_address_blocks() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(StoreEntry {
+            seq: 1,
+            addr: None,
+            bytes: 8,
+            value: None,
+        });
+        assert_eq!(sb.forward(5, 0x500, 8), ForwardResult::MustWait);
+        assert!(sb.unknown_addr_before(5));
+        assert!(!sb.unknown_addr_before(1));
+        sb.resolve(1, 0x500, 42);
+        assert_eq!(sb.forward(5, 0x500, 8), ForwardResult::Forward(42));
+        assert!(!sb.unknown_addr_before(5));
+    }
+
+    #[test]
+    fn not_there_data_names_the_store() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(StoreEntry {
+            seq: 3,
+            addr: Some(0x100),
+            bytes: 8,
+            value: None,
+        });
+        assert_eq!(
+            sb.forward(7, 0x100, 8),
+            ForwardResult::NotThere { store_seq: 3 }
+        );
+    }
+
+    #[test]
+    fn drain_commits_in_order_and_removes() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(store(1, 0x100, 8, 1));
+        sb.push(store(2, 0x200, 8, 2));
+        sb.push(store(9, 0x300, 8, 3));
+        let drained = sb.drain_through(5);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].seq, 1);
+        assert_eq!(drained[1].seq, 2);
+        assert_eq!(sb.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn drain_unresolved_asserts() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(StoreEntry {
+            seq: 1,
+            addr: None,
+            bytes: 8,
+            value: None,
+        });
+        let _ = sb.drain_through(5);
+    }
+
+    #[test]
+    fn squash_drops_young() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(store(1, 0x100, 8, 1));
+        sb.push(store(5, 0x200, 8, 2));
+        sb.squash_from(5);
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.iter().next().unwrap().seq, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_asserts() {
+        let mut sb = StoreBuffer::new(1);
+        sb.push(store(1, 0, 8, 0));
+        sb.push(store(2, 8, 8, 0));
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for the speculation substrate: store-buffer overlay
+//! semantics vs a byte-level oracle, NT merge-rule invariants, and
+//! deferred-queue order preservation.
+
+use proptest::prelude::*;
+use sst_isa::{Reg, SparseMem};
+use sst_uarch::{DeferredQueue, DqEntry, ForwardResult, RegImage, StoreBuffer, StoreEntry};
+
+/// A reference "memory + ordered stores" oracle for overlay reads.
+fn oracle_read(
+    mem: &SparseMem,
+    stores: &[(u64, u64, u64, u64)], // (seq, addr, bytes, value), ordered
+    load_seq: u64,
+    addr: u64,
+    bytes: u64,
+) -> u64 {
+    let mut buf = [0u8; 8];
+    for i in 0..bytes {
+        buf[i as usize] = mem.read_u8(addr + i);
+    }
+    for &(seq, saddr, sbytes, value) in stores {
+        if seq >= load_seq {
+            continue;
+        }
+        for i in 0..sbytes {
+            let b = saddr + i;
+            if b >= addr && b < addr + bytes {
+                buf[(b - addr) as usize] = (value >> (8 * i)) as u8;
+            }
+        }
+    }
+    u64::from_le_bytes(buf) & if bytes == 8 { u64::MAX } else { (1 << (bytes * 8)) - 1 }
+}
+
+fn arb_width() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(1u64), Just(2), Just(4), Just(8)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// read_overlay must agree with a byte-level oracle for any set of
+    /// resolved stores.
+    #[test]
+    fn overlay_matches_oracle(
+        stores in prop::collection::vec((0u64..64, arb_width(), any::<u64>()), 0..12),
+        laddr in 0u64..64,
+        lbytes in arb_width(),
+        lseq_off in 0u64..14,
+        mem_val in any::<u64>(),
+    ) {
+        let mut mem = SparseMem::new();
+        for i in 0..10 {
+            mem.write_u64(i * 8, mem_val.wrapping_add(i));
+        }
+        let mut sb = StoreBuffer::new(32);
+        let mut ordered = Vec::new();
+        for (i, &(addr, bytes, value)) in stores.iter().enumerate() {
+            let seq = i as u64 + 1;
+            sb.push(StoreEntry { seq, addr: Some(addr), bytes, value: Some(value) });
+            ordered.push((seq, addr, bytes, value));
+        }
+        let load_seq = lseq_off + 1;
+        let got = sb.read_overlay(load_seq, laddr, lbytes, &mem);
+        let want = oracle_read(&mem, &ordered, load_seq, laddr, lbytes);
+        prop_assert_eq!(got, Some(want));
+    }
+
+    /// forward() never returns a wrong value: when it forwards, the value
+    /// matches the oracle; when it says NoMatch, memory-only matches.
+    #[test]
+    fn forward_is_sound(
+        stores in prop::collection::vec((0u64..32, arb_width(), any::<u64>()), 0..8),
+        laddr in 0u64..32,
+        lbytes in arb_width(),
+    ) {
+        let mem = SparseMem::new();
+        let mut sb = StoreBuffer::new(16);
+        let mut ordered = Vec::new();
+        for (i, &(addr, bytes, value)) in stores.iter().enumerate() {
+            let seq = i as u64 + 1;
+            sb.push(StoreEntry { seq, addr: Some(addr), bytes, value: Some(value) });
+            ordered.push((seq, addr, bytes, value));
+        }
+        let load_seq = stores.len() as u64 + 1;
+        let want = oracle_read(&mem, &ordered, load_seq, laddr, lbytes);
+        match sb.forward(load_seq, laddr, lbytes) {
+            ForwardResult::Forward(v) => prop_assert_eq!(v, want, "forwarded value wrong"),
+            ForwardResult::NoMatch => {
+                // No older store overlaps; memory value (zero here) is it.
+                prop_assert_eq!(want, 0, "NoMatch but an older store overlapped");
+            }
+            ForwardResult::MustWait => {} // conservative is always sound
+            ForwardResult::NotThere { .. } => prop_assert!(false, "all stores resolved"),
+        }
+    }
+
+    /// The NT merge rule: a merge lands iff the register is NT with the
+    /// matching writer, and at most one merge per (reg, writer) lands.
+    #[test]
+    fn merge_rule_invariants(
+        writes in prop::collection::vec((1u8..64, any::<u64>(), 1u64..100), 1..20),
+        merge_reg in 1u8..64,
+        merge_writer in 1u64..100,
+        merge_val in any::<u64>(),
+    ) {
+        let mut im = RegImage::new();
+        for &(r, v, seq) in &writes {
+            let reg = Reg::from_index(r).unwrap();
+            if v % 3 == 0 {
+                im.mark_nt(reg, seq);
+            } else {
+                im.write(reg, v, seq, 0);
+            }
+        }
+        let reg = Reg::from_index(merge_reg).unwrap();
+        let was_nt = im.is_nt(reg);
+        let was_writer = im.slot(reg).writer;
+        let landed = im.merge(reg, merge_val, merge_writer, 0);
+        prop_assert_eq!(landed, was_nt && was_writer == merge_writer);
+        if landed {
+            prop_assert_eq!(im.value(reg), merge_val);
+            prop_assert!(!im.is_nt(reg));
+            // A second identical merge must not land (no longer NT).
+            prop_assert!(!im.merge(reg, merge_val ^ 1, merge_writer, 0));
+            prop_assert_eq!(im.value(reg), merge_val);
+        }
+    }
+
+    /// DQ: any interleaving of pushes and ordered-retains keeps entries in
+    /// strictly increasing seq order and never exceeds capacity.
+    #[test]
+    fn dq_order_invariant(ops in prop::collection::vec(any::<bool>(), 1..100)) {
+        let mut q = DeferredQueue::new(16);
+        let mut next_seq = 1u64;
+        for op in ops {
+            if op && !q.is_full() {
+                q.push(DqEntry {
+                    seq: next_seq,
+                    pc: 0x1000,
+                    inst: sst_isa::Inst::NOP,
+                    captured: [Some(0), Some(0)],
+                    producers: [None, None],
+                    predicted_taken: None,
+                    pred_next_pc: None,
+                    data_ready_at: None,
+                });
+                next_seq += 1;
+            } else if !q.is_empty() {
+                // Remove every third entry.
+                let _ = q.retain_ordered(|e| e.seq % 3 == 0);
+            }
+            let seqs: Vec<u64> = q.iter().map(|e| e.seq).collect();
+            prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(q.len() <= q.capacity());
+        }
+    }
+
+    /// Store buffer drain/squash partition: entries either drain (seq <=
+    /// boundary) or survive, never both, and drains come out in order.
+    #[test]
+    fn stb_drain_squash_partition(
+        n in 1usize..16,
+        boundary in 1u64..20,
+    ) {
+        let mut sb = StoreBuffer::new(32);
+        for i in 0..n {
+            sb.push(StoreEntry {
+                seq: i as u64 + 1,
+                addr: Some(i as u64 * 8),
+                bytes: 8,
+                value: Some(i as u64),
+            });
+        }
+        let drained = sb.drain_through(boundary);
+        prop_assert!(drained.windows(2).all(|w| w[0].seq < w[1].seq));
+        for d in &drained {
+            prop_assert!(d.seq <= boundary);
+        }
+        for e in sb.iter() {
+            prop_assert!(e.seq > boundary);
+        }
+        prop_assert_eq!(drained.len() + sb.len(), n);
+    }
+}

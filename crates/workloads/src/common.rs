@@ -1,0 +1,141 @@
+//! Shared generator helpers: seeded data-image construction and common
+//! code idioms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sst_isa::{Asm, Reg};
+
+/// An [`Asm`] whose text/data segments live in `slot`'s private address
+/// range. Slot 0 is the default layout; each further slot is offset by
+/// 64 GiB so multiprogrammed CMP workloads never alias.
+pub fn slot_asm(slot: usize) -> Asm {
+    let off = (slot as u64) << 36;
+    Asm::with_bases(sst_isa::DEFAULT_TEXT_BASE + off, sst_isa::DEFAULT_DATA_BASE + off)
+}
+
+/// A seeded RNG for data-image generation (deterministic per workload+seed).
+pub fn rng(workload: &str, seed: u64) -> StdRng {
+    let mut h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for b in workload.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Builds a random-cycle pointer chain of `nodes` nodes of `node_bytes`
+/// bytes each inside a reserved region; offset 0 of each node holds the
+/// absolute address of the next node, the rest of the node is filled with
+/// random payload words. Returns the region base (== the first node).
+///
+/// A single cycle through a random permutation gives the classic
+/// cache-hostile chase: successive hops are far apart and unpredictable.
+pub fn pointer_chain(a: &mut Asm, rng: &mut StdRng, nodes: u64, node_bytes: u64) -> u64 {
+    assert!(node_bytes >= 8 && node_bytes % 8 == 0);
+    // Sattolo's algorithm: a uniformly random single cycle.
+    let mut perm: Vec<u64> = (0..nodes).collect();
+    let mut i = nodes as usize - 1;
+    while i > 0 {
+        let j = rng.gen_range(0..i);
+        perm.swap(i, j);
+        i -= 1;
+    }
+    // The region starts at the (aligned) current data cursor, so the next
+    // `data_u64` lands exactly there and absolute links can be computed
+    // up front.
+    a.align_data(64);
+    let region = a.data_cursor_addr();
+    let mut words: Vec<u64> = vec![0; (nodes * node_bytes / 8) as usize];
+    let words_per_node = (node_bytes / 8) as usize;
+    for k in 0..nodes as usize {
+        let cur = perm[k];
+        let next = perm[(k + 1) % nodes as usize];
+        let idx = cur as usize * words_per_node;
+        words[idx] = region + next * node_bytes;
+        for w in 1..words_per_node {
+            words[idx + w] = rng.gen();
+        }
+    }
+    let actual = a.data_u64(&words);
+    assert_eq!(actual, region, "image must land at the precomputed base");
+    region
+}
+
+/// Emits an xorshift64 step on `state`, clobbering `tmp`.
+pub fn xorshift(a: &mut Asm, state: Reg, tmp: Reg) {
+    a.slli(tmp, state, 13);
+    a.xor(state, state, tmp);
+    a.srli(tmp, state, 7);
+    a.xor(state, state, tmp);
+    a.slli(tmp, state, 17);
+    a.xor(state, state, tmp);
+}
+
+/// Fills a reserved region with random 64-bit words; returns its base.
+pub fn random_words(a: &mut Asm, rng: &mut StdRng, count: u64) -> u64 {
+    let words: Vec<u64> = (0..count).map(|_| rng.gen()).collect();
+    a.data_u64(&words)
+}
+
+/// Fills a region with random bytes; returns its base.
+pub fn random_bytes(a: &mut Asm, rng: &mut StdRng, count: u64) -> u64 {
+    let bytes: Vec<u8> = (0..count).map(|_| rng.gen()).collect();
+    a.data_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_isa::{Interp, Reg, StopReason};
+
+    #[test]
+    fn pointer_chain_is_a_single_cycle() {
+        let mut a = Asm::new();
+        let mut r = rng("t", 1);
+        let nodes = 64;
+        let base = pointer_chain(&mut a, &mut r, nodes, 64);
+        // Walk it functionally and require we visit every node once.
+        a.la(Reg::x(1), base);
+        a.li(Reg::x(2), nodes as i64);
+        let top = a.here();
+        a.ld(Reg::x(1), Reg::x(1), 0);
+        a.addi(Reg::x(2), Reg::x(2), -1);
+        a.bne(Reg::x(2), Reg::ZERO, top);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.run(10_000).unwrap().stop, StopReason::Halt);
+        assert_eq!(
+            i.state().read(Reg::x(1)),
+            base,
+            "after `nodes` hops the cycle returns to the start"
+        );
+    }
+
+    #[test]
+    fn xorshift_matches_reference() {
+        let mut a = Asm::new();
+        a.li(Reg::x(1), 88172645463325252u64 as i64);
+        xorshift(&mut a, Reg::x(1), Reg::x(2));
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut i = Interp::new(&p);
+        i.run(100).unwrap();
+        // Reference xorshift64.
+        let mut x = 88172645463325252u64;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        assert_eq!(i.state().read(Reg::x(1)), x);
+    }
+
+    #[test]
+    fn rng_distinguishes_workloads_and_seeds() {
+        let a: u64 = rng("oltp", 1).gen();
+        let b: u64 = rng("oltp", 2).gen();
+        let c: u64 = rng("web", 1).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        let a2: u64 = rng("oltp", 1).gen();
+        assert_eq!(a, a2);
+    }
+}

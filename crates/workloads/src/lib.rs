@@ -1,0 +1,202 @@
+//! # sst-workloads
+//!
+//! The benchmark suite for the SST study. The paper evaluates commercial
+//! workloads (OLTP/database, ERP/Java-server, web) and SPEC CPU; those
+//! traces are proprietary, so this crate builds synthetic stand-ins that
+//! pin the four properties the paper's results actually depend on:
+//!
+//! 1. the fraction of off-chip load misses,
+//! 2. the depth of the dependence chain behind each miss,
+//! 3. the independent work (memory-level parallelism) available past a
+//!    miss, and
+//! 4. branch predictability.
+//!
+//! See `DESIGN.md` (substitution S2) for the mapping. Every workload is a
+//! real program in the workspace ISA whose *data* (pointer graphs, hash
+//! tables, payloads) is generated host-side into the binary image, so the
+//! simulated instruction stream is pure steady-state work.
+//!
+//! ```
+//! use sst_workloads::{Workload, Scale};
+//!
+//! let w = Workload::by_name("oltp", Scale::Smoke, 42).unwrap();
+//! assert_eq!(w.name, "oltp");
+//! // w.program runs on any core model; w.skip_insts marks warm-up.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod commercial;
+mod common;
+mod micro;
+mod spec;
+
+use sst_isa::Program;
+
+/// Workload footprint / duration scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny: unit tests (seconds of wall-clock across all models).
+    Smoke,
+    /// Full: the experiment harness.
+    Full,
+}
+
+/// Category, mirroring the paper's suite structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// Commercial server workloads (the paper's headline suite).
+    Commercial,
+    /// SPEC-CPU-like integer kernels.
+    SpecInt,
+    /// SPEC-CPU-like floating-point kernels.
+    SpecFp,
+    /// Microbenchmarks with controlled memory behaviour.
+    Micro,
+}
+
+impl Class {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::Commercial => "commercial",
+            Class::SpecInt => "spec-int",
+            Class::SpecFp => "spec-fp",
+            Class::Micro => "micro",
+        }
+    }
+}
+
+/// A ready-to-run benchmark.
+pub struct Workload {
+    /// Short name ("oltp", "mcf", ...).
+    pub name: &'static str,
+    /// Suite category.
+    pub class: Class,
+    /// The program (text + host-generated data image).
+    pub program: Program,
+    /// Instructions to treat as warm-up when computing steady-state IPC.
+    pub skip_insts: u64,
+    /// One-line description for reports.
+    pub description: &'static str,
+}
+
+impl Workload {
+    /// Builds a workload by name at address slot 0. Returns `None` for
+    /// unknown names.
+    pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<Workload> {
+        Workload::by_name_slot(name, scale, seed, 0)
+    }
+
+    /// Builds a workload whose text/data live in `slot`'s private 64 GiB
+    /// address range, so multiprogrammed CMP mixes never alias.
+    pub fn by_name_slot(name: &str, scale: Scale, seed: u64, slot: usize) -> Option<Workload> {
+        Some(match name {
+            "oltp" => commercial::oltp(scale, seed, slot),
+            "erp" => commercial::erp(scale, seed, slot),
+            "web" => commercial::web(scale, seed, slot),
+            "mcf" => spec::mcf_like(scale, seed, slot),
+            "gcc" => spec::gcc_like(scale, seed, slot),
+            "gzip" => spec::gzip_like(scale, seed, slot),
+            "gups" => spec::gups(scale, seed, slot),
+            "stream" => spec::stream_like(scale, seed, slot),
+            "stencil" => spec::stencil_like(scale, seed, slot),
+            "matmul" => spec::matmul_like(scale, seed, slot),
+            "chase" => micro::chase(scale, seed, slot),
+            "mlp8" => micro::mlp8(scale, seed, slot),
+            _ => return None,
+        })
+    }
+
+    /// All workload names, suite order.
+    pub fn all_names() -> &'static [&'static str] {
+        &[
+            "oltp", "erp", "web", "mcf", "gcc", "gzip", "gups", "stream", "stencil", "matmul",
+            "chase", "mlp8",
+        ]
+    }
+
+    /// The commercial suite (the paper's headline comparison set).
+    pub fn commercial_names() -> &'static [&'static str] {
+        &["oltp", "erp", "web"]
+    }
+
+    /// The SPEC-like integer set.
+    pub fn spec_int_names() -> &'static [&'static str] {
+        &["mcf", "gcc", "gzip", "gups"]
+    }
+
+    /// The SPEC-like floating-point set.
+    pub fn spec_fp_names() -> &'static [&'static str] {
+        &["stream", "stencil", "matmul"]
+    }
+
+    /// Builds every workload in a name list.
+    pub fn suite(names: &[&str], scale: Scale, seed: u64) -> Vec<Workload> {
+        names
+            .iter()
+            .map(|n| Workload::by_name(n, scale, seed).expect("known name"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_isa::{Interp, StopReason};
+
+    #[test]
+    fn every_workload_builds_and_halts_functionally() {
+        for name in Workload::all_names() {
+            let w = Workload::by_name(name, Scale::Smoke, 7).unwrap();
+            let mut i = Interp::new(&w.program);
+            let out = i.run(20_000_000).unwrap_or_else(|t| panic!("{name}: trap {t}"));
+            assert_eq!(out.stop, StopReason::Halt, "{name} did not halt");
+            assert!(
+                out.steps > w.skip_insts,
+                "{name}: ran {} insts but skip is {}",
+                out.steps,
+                w.skip_insts
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(Workload::by_name("nope", Scale::Smoke, 1).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Workload::by_name("oltp", Scale::Smoke, 5).unwrap();
+        let b = Workload::by_name("oltp", Scale::Smoke, 5).unwrap();
+        assert_eq!(a.program.text, b.program.text);
+        assert_eq!(a.program.data.len(), b.program.data.len());
+        for (x, y) in a.program.data.iter().zip(&b.program.data) {
+            assert_eq!(x, y);
+        }
+        let c = Workload::by_name("oltp", Scale::Smoke, 6).unwrap();
+        let same_data = a
+            .program
+            .data
+            .iter()
+            .zip(&c.program.data)
+            .all(|(x, y)| x == y);
+        assert!(!same_data, "different seeds must change the data image");
+    }
+
+    #[test]
+    fn suites_partition_sensibly() {
+        let all = Workload::all_names();
+        for n in Workload::commercial_names() {
+            assert!(all.contains(n));
+        }
+        for n in Workload::spec_int_names() {
+            assert!(all.contains(n));
+        }
+        for n in Workload::spec_fp_names() {
+            assert!(all.contains(n));
+        }
+    }
+}

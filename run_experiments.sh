@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs every experiment binary at full scale and collects the outputs under
+# results/ (tables as CSV via the binaries themselves, logs as .txt).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release -p sst-bench
+
+mkdir -p results/logs
+for exp in ${SST_EXPS:-e1_configs e2_workloads e3_speedup_vs_inorder e4_vs_ooo \
+           e5_latency_sweep e6_dq_sweep e7_ckpt_sweep e8_stb_sweep \
+           e9_area_proxy e10_cmp_throughput e11_mlp e12_failures \
+           a1_defer_threshold a2_bypass_window}; do
+    echo "== running $exp =="
+    ./target/release/$exp 2>&1 | tee "results/logs/$exp.txt"
+done
+echo "all experiments complete; see results/"

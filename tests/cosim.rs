@@ -1,0 +1,58 @@
+//! Whole-suite co-simulation: every workload on every lineup model, every
+//! commit checked against the functional reference. This is the strongest
+//! end-to-end correctness statement in the repository.
+
+use sst_sim::{CoreModel, System};
+use sst_workloads::{Scale, Workload};
+
+#[test]
+fn all_models_all_workloads_cosim() {
+    for name in Workload::all_names() {
+        for model in CoreModel::lineup() {
+            let label = model.label();
+            let w = Workload::by_name(name, Scale::Smoke, 77).expect("known");
+            let r = System::new(model, &w)
+                .run_checked(2_000_000_000)
+                .unwrap_or_else(|e| panic!("{name} on {label}: {e}"));
+            assert!(r.insts > 100, "{name}/{label} barely ran");
+        }
+    }
+}
+
+#[test]
+fn identical_commit_counts_across_models() {
+    // All machines execute the same architectural program: committed
+    // instruction counts must agree exactly.
+    for name in ["oltp", "web", "gcc", "stream"] {
+        let mut counts = Vec::new();
+        for model in CoreModel::lineup() {
+            let label = model.label();
+            let w = Workload::by_name(name, Scale::Smoke, 13).expect("known");
+            let r = System::measure(model, &w, 2_000_000_000);
+            counts.push((label, r.insts));
+        }
+        let first = counts[0].1;
+        for (label, c) in &counts {
+            assert_eq!(*c, first, "{name}: {label} committed {c} != {first}");
+        }
+    }
+}
+
+#[test]
+fn seeds_change_timing_not_correctness() {
+    for seed in [1u64, 2, 3] {
+        let w = Workload::by_name("erp", Scale::Smoke, seed).expect("known");
+        System::new(CoreModel::Sst, &w)
+            .run_checked(2_000_000_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn determinism_same_seed_same_cycles() {
+    let run = || {
+        let w = Workload::by_name("oltp", Scale::Smoke, 4).expect("known");
+        System::measure(CoreModel::Sst, &w, 2_000_000_000).cycles
+    };
+    assert_eq!(run(), run(), "simulation must be deterministic");
+}
