@@ -1,9 +1,14 @@
-//! Criterion benches: one group per reproduced table/figure (E1–E12),
-//! each timing a smoke-scale kernel of that experiment. `cargo bench`
-//! therefore exercises every experiment's code path and reports simulator
-//! throughput; the full-scale numbers come from the `e*` binaries.
+//! Timing benches: one entry per reproduced table/figure (E1–E12), each
+//! timing a smoke-scale kernel of that experiment's code path. Runs under
+//! `cargo bench` with no external crates: a minimal best-of-N wall-clock
+//! harness over `std::time::Instant`. The full-scale numbers come from
+//! `sst-run` / the `e*` binaries; this reports simulator throughput.
+//!
+//! With the `ext` feature the sample count rises from 3 to 10.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use sst_core::SstConfig;
 use sst_mem::MemConfig;
 use sst_sim::area::model_area;
@@ -11,6 +16,32 @@ use sst_sim::{CmpSystem, CoreModel, System};
 use sst_workloads::{Scale, Workload};
 
 const MAX: u64 = 5_000_000_000;
+
+fn samples() -> usize {
+    if cfg!(feature = "ext") {
+        10
+    } else {
+        3
+    }
+}
+
+/// Runs `f` `samples()` times and reports best / median wall-clock time.
+fn bench(name: &str, mut f: impl FnMut() -> f64) {
+    let n = samples();
+    let mut times_ms: Vec<f64> = Vec::with_capacity(n);
+    let mut last = 0.0;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        last = black_box(f());
+        times_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    println!(
+        "{name:<28} best {:>9.2} ms   median {:>9.2} ms   (result {last:.4})",
+        times_ms[0],
+        times_ms[times_ms.len() / 2],
+    );
+}
 
 fn measure(model: CoreModel, name: &str) -> f64 {
     let w = Workload::by_name(name, Scale::Smoke, 1).expect("known");
@@ -21,143 +52,70 @@ fn measure(model: CoreModel, name: &str) -> f64 {
         .measured_ipc()
 }
 
-fn small(c: &mut Criterion) -> Criterion {
-    let _ = c;
-    Criterion::default().sample_size(10)
-}
+fn main() {
+    println!("experiment kernels, smoke scale, best of {}:", samples());
 
-fn e1_configs(c: &mut Criterion) {
-    // Table construction is trivial; bench the config -> area path used by
-    // the table.
-    c.bench_function("e1_configs", |b| {
-        b.iter(|| {
-            let mut total = 0u64;
-            for m in CoreModel::lineup() {
-                total += model_area(&m).total_bits();
-            }
-            total
-        })
+    bench("e1_configs_area", || {
+        let mut total = 0u64;
+        for m in CoreModel::lineup() {
+            total += model_area(&m).total_bits();
+        }
+        total as f64
     });
-}
-
-fn e2_workload_characterization(c: &mut Criterion) {
-    c.bench_function("e2_workloads_inorder_gzip", |b| {
-        b.iter(|| measure(CoreModel::InOrder, "gzip"))
+    bench("e2_workloads_inorder_gzip", || {
+        measure(CoreModel::InOrder, "gzip")
     });
-}
-
-fn e3_speedup_vs_inorder(c: &mut Criterion) {
-    c.bench_function("e3_sst_erp", |b| b.iter(|| measure(CoreModel::Sst, "erp")));
-}
-
-fn e4_vs_ooo(c: &mut Criterion) {
-    c.bench_function("e4_ooo128_erp", |b| {
-        b.iter(|| measure(CoreModel::Ooo128, "erp"))
+    bench("e3_sst_erp", || measure(CoreModel::Sst, "erp"));
+    bench("e4_ooo128_erp", || measure(CoreModel::Ooo128, "erp"));
+    bench("e5_latency_sst_mcf", || {
+        let mut cfg = MemConfig::default();
+        cfg.dram.base_cycles = 600;
+        let w = Workload::by_name("mcf", Scale::Smoke, 1).expect("known");
+        System::with_mem(CoreModel::Sst, &w, &cfg)
+            .without_cosim()
+            .run_checked(MAX)
+            .expect("completes")
+            .measured_ipc()
     });
-}
-
-fn e5_latency(c: &mut Criterion) {
-    c.bench_function("e5_latency_sst_mcf", |b| {
-        b.iter(|| {
-            let mut cfg = MemConfig::default();
-            cfg.dram.base_cycles = 600;
-            let w = Workload::by_name("mcf", Scale::Smoke, 1).expect("known");
-            System::with_mem(CoreModel::Sst, &w, &cfg)
-                .without_cosim()
-                .run_checked(MAX)
-                .expect("completes")
-                .measured_ipc()
-        })
+    bench("e6_dq16_oltp", || {
+        let cfg = SstConfig {
+            dq_entries: 16,
+            ..SstConfig::sst()
+        };
+        measure(CoreModel::CustomSst(cfg), "oltp")
     });
-}
-
-fn e6_dq(c: &mut Criterion) {
-    c.bench_function("e6_dq16_oltp", |b| {
-        b.iter(|| {
-            let cfg = SstConfig {
-                dq_entries: 16,
-                ..SstConfig::sst()
-            };
-            measure(CoreModel::CustomSst(cfg), "oltp")
-        })
+    bench("e7_ckpt4_oltp", || {
+        let cfg = SstConfig {
+            checkpoints: 4,
+            ..SstConfig::sst()
+        };
+        measure(CoreModel::CustomSst(cfg), "oltp")
     });
-}
-
-fn e7_ckpt(c: &mut Criterion) {
-    c.bench_function("e7_ckpt4_oltp", |b| {
-        b.iter(|| {
-            let cfg = SstConfig {
-                checkpoints: 4,
-                ..SstConfig::sst()
-            };
-            measure(CoreModel::CustomSst(cfg), "oltp")
-        })
+    bench("e8_stb8_gups", || {
+        let cfg = SstConfig {
+            stb_entries: 8,
+            ..SstConfig::sst()
+        };
+        measure(CoreModel::CustomSst(cfg), "gups")
     });
-}
-
-fn e8_stb(c: &mut Criterion) {
-    c.bench_function("e8_stb8_gups", |b| {
-        b.iter(|| {
-            let cfg = SstConfig {
-                stb_entries: 8,
-                ..SstConfig::sst()
-            };
-            measure(CoreModel::CustomSst(cfg), "gups")
-        })
+    bench("e9_area_proxy", || {
+        CoreModel::lineup()
+            .iter()
+            .map(|m| model_area(m).weighted_cost())
+            .sum::<f64>()
     });
-}
-
-fn e9_area(c: &mut Criterion) {
-    c.bench_function("e9_area_proxy", |b| {
-        b.iter(|| {
-            CoreModel::lineup()
-                .iter()
-                .map(|m| model_area(m).weighted_cost())
-                .sum::<f64>()
-        })
+    bench("e10_cmp4_gzip", || {
+        CmpSystem::homogeneous(
+            CoreModel::Sst,
+            "gzip",
+            Scale::Smoke,
+            1,
+            4,
+            &MemConfig::default(),
+        )
+        .run(MAX)
+        .throughput_ipc()
     });
+    bench("e11_mlp8_sst", || measure(CoreModel::Sst, "mlp8"));
+    bench("e12_scout_web", || measure(CoreModel::Scout, "web"));
 }
-
-fn e10_cmp(c: &mut Criterion) {
-    c.bench_function("e10_cmp4_gzip", |b| {
-        b.iter(|| {
-            CmpSystem::homogeneous(
-                CoreModel::Sst,
-                "gzip",
-                Scale::Smoke,
-                1,
-                4,
-                &MemConfig::default(),
-            )
-            .run(MAX)
-            .throughput_ipc()
-        })
-    });
-}
-
-fn e11_mlp(c: &mut Criterion) {
-    c.bench_function("e11_mlp8_sst", |b| b.iter(|| measure(CoreModel::Sst, "mlp8")));
-}
-
-fn e12_failures(c: &mut Criterion) {
-    c.bench_function("e12_scout_web", |b| b.iter(|| measure(CoreModel::Scout, "web")));
-}
-
-criterion_group! {
-    name = experiments;
-    config = small(&mut Criterion::default());
-    targets =
-        e1_configs,
-        e2_workload_characterization,
-        e3_speedup_vs_inorder,
-        e4_vs_ooo,
-        e5_latency,
-        e6_dq,
-        e7_ckpt,
-        e8_stb,
-        e9_area,
-        e10_cmp,
-        e11_mlp,
-        e12_failures
-}
-criterion_main!(experiments);

@@ -1,37 +1,9 @@
 //! Ablation A1 — defer-threshold sensitivity.
 //!
-//! DESIGN.md calls out the defer threshold (the latency at which a load
-//! stops waiting and defers) as a design choice. Too low and L2 hits
-//! trigger pointless speculation episodes; too high and off-chip misses
-//! stall the ahead thread. The paper's implicit choice is "off-chip
-//! misses defer, on-chip hits do not".
-
-use sst_bench::{banner, emit, run};
-use sst_core::SstConfig;
-use sst_sim::report::{f3, Table};
-use sst_sim::CoreModel;
-
-const THRESHOLDS: [u64; 6] = [5, 15, 30, 60, 150, 400];
-const WORKLOADS: [&str; 3] = ["oltp", "erp", "gzip"];
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run a1 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "A1",
-        "ablation: defer threshold",
-        "a knee between the L2 hit latency (~20) and the DRAM latency (~340); beyond it SST degrades toward in-order",
-    );
-
-    for name in WORKLOADS {
-        let mut t = Table::new(["defer threshold", "IPC"]);
-        for thr in THRESHOLDS {
-            let cfg = SstConfig {
-                defer_threshold: thr,
-                ..SstConfig::sst()
-            };
-            let r = run(CoreModel::CustomSst(cfg), name);
-            t.row([thr.to_string(), f3(r.measured_ipc())]);
-        }
-        println!("workload: {name}");
-        emit(&format!("a1_defer_{name}"), &t);
-    }
+    std::process::exit(sst_harness::cli::experiment_main("a1"));
 }

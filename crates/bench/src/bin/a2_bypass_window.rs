@@ -1,37 +1,9 @@
 //! Ablation A2 — replay bypass-stall window.
 //!
-//! During replay the deferred strand stalls in place for inputs that land
-//! within this window (modeling pipeline bypass of back-to-back dependent
-//! replays) and re-defers anything farther out. Too small: dependent
-//! chains take a full queue rotation per instruction. Too large: the
-//! strand serializes on medium-latency loads it should have re-deferred.
-
-use sst_bench::{banner, emit, run};
-use sst_core::SstConfig;
-use sst_sim::report::{f3, Table};
-use sst_sim::CoreModel;
-
-const WINDOWS: [u64; 6] = [0, 2, 6, 12, 25, 60];
-const WORKLOADS: [&str; 3] = ["oltp", "erp", "gups"];
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run a2 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "A2",
-        "ablation: replay bypass-stall window",
-        "a shallow optimum near the ALU-latency scale (a few cycles)",
-    );
-
-    for name in WORKLOADS {
-        let mut t = Table::new(["bypass window", "IPC"]);
-        for win in WINDOWS {
-            let cfg = SstConfig {
-                bypass_stall_window: win,
-                ..SstConfig::sst()
-            };
-            let r = run(CoreModel::CustomSst(cfg), name);
-            t.row([win.to_string(), f3(r.measured_ipc())]);
-        }
-        println!("workload: {name}");
-        emit(&format!("a2_bypass_{name}"), &t);
-    }
+    std::process::exit(sst_harness::cli::experiment_main("a2"));
 }

@@ -1,70 +1,9 @@
 //! Ablation A3 — confidence-gated deferral.
 //!
-//! When enabled, the ahead strand refuses to speculate past a
-//! low-confidence deferred branch (it stalls for the branch's inputs
-//! instead). The gate trades run-ahead coverage for fewer deferred-branch
-//! rollbacks; ROCK ships with the gate off because wrong-path prefetching
-//! past reconvergent hammocks usually pays for the occasional rollback —
-//! this ablation quantifies that call on every workload.
-
-use sst_bench::{banner, emit, workload, MAX_CYCLES};
-use sst_core::{SstConfig, SstCore};
-use sst_mem::{MemConfig, MemSystem};
-use sst_sim::report::{f3, pct, Table};
-use sst_uarch::Core;
-use sst_workloads::Workload;
-
-fn run(cfg: SstConfig, name: &str) -> (f64, u64, u64) {
-    let w = workload(name);
-    let mut mem = MemSystem::new(&MemConfig::default(), 1);
-    w.program.load_into(mem.mem_mut());
-    let mut core = SstCore::new(cfg, 0, &w.program);
-    while !core.halted() {
-        assert!(core.cycle() < MAX_CYCLES, "{name} wedged");
-        core.tick(&mut mem);
-        core.drain_commits();
-    }
-    (
-        core.retired() as f64 / core.cycle() as f64,
-        core.stats.fail_branch,
-        core.stats.stall_lowconf,
-    )
-}
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run a3 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "A3",
-        "ablation: confidence-gated deferral",
-        "the gate removes most deferred-branch rollbacks but costs run-ahead coverage; net effect is workload-dependent",
-    );
-
-    let mut t = Table::new([
-        "workload",
-        "IPC (gate off)",
-        "fails (off)",
-        "IPC (gate on)",
-        "fails (on)",
-        "lowconf stall cyc",
-        "gate effect",
-    ]);
-    for name in Workload::all_names() {
-        let off = run(SstConfig::sst(), name);
-        let on = run(
-            SstConfig {
-                confidence_gate: true,
-                ..SstConfig::sst()
-            },
-            name,
-        );
-        t.row([
-            name.to_string(),
-            f3(off.0),
-            off.1.to_string(),
-            f3(on.0),
-            on.1.to_string(),
-            on.2.to_string(),
-            pct(on.0 / off.0),
-        ]);
-    }
-    emit("a3_confidence_gate", &t);
+    std::process::exit(sst_harness::cli::experiment_main("a3"));
 }

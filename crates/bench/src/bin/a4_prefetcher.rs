@@ -1,54 +1,9 @@
 //! Ablation A4 — hardware stride prefetching vs the speculation mechanisms.
 //!
-//! A classic question about runahead-style designs: does a conventional
-//! stride prefetcher subsume them? It covers regular streams (stream,
-//! stencil) but not pointer chasing or hash probes — exactly the
-//! commercial access patterns SST targets. This ablation runs the in-order
-//! and SST cores with and without the prefetcher.
-
-use sst_bench::{banner, emit, run_mem};
-use sst_mem::{MemConfig, StrideConfig};
-use sst_sim::report::{f3, pct, Table};
-use sst_sim::CoreModel;
-
-const WORKLOADS: [&str; 6] = ["oltp", "erp", "stream", "stencil", "mcf", "gups"];
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run a4 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "A4",
-        "ablation: stride prefetcher vs speculation",
-        "the prefetcher rescues regular streams for in-order but not the pointer-chasing commercial suite; SST + prefetcher compose",
-    );
-
-    let base = MemConfig::default();
-    let with_pf = MemConfig {
-        prefetch: Some(StrideConfig::default()),
-        ..MemConfig::default()
-    };
-
-    let mut t = Table::new([
-        "workload",
-        "in-order",
-        "in-order+pf",
-        "pf gain",
-        "sst",
-        "sst+pf",
-        "sst+pf vs sst",
-    ]);
-    for name in WORKLOADS {
-        let io = run_mem(CoreModel::InOrder, name, &base).measured_ipc();
-        let io_pf = run_mem(CoreModel::InOrder, name, &with_pf).measured_ipc();
-        let sst = run_mem(CoreModel::Sst, name, &base).measured_ipc();
-        let sst_pf = run_mem(CoreModel::Sst, name, &with_pf).measured_ipc();
-        t.row([
-            name.to_string(),
-            f3(io),
-            f3(io_pf),
-            pct(io_pf / io),
-            f3(sst),
-            f3(sst_pf),
-            pct(sst_pf / sst),
-        ]);
-    }
-    emit("a4_prefetcher", &t);
+    std::process::exit(sst_harness::cli::experiment_main("a4"));
 }

@@ -1,59 +1,9 @@
 //! E10 / Figure G — CMP throughput scaling.
 //!
-//! ROCK is a 16-core chip of SST cores. This experiment scales core count
-//! over the shared L2 + single DRAM channel on a multiprogrammed
-//! commercial mix and compares aggregate throughput of SST-core chips
-//! against OoO-core chips (which, per E9, could fit fewer cores in the
-//! same area — reported here as throughput per structure cost).
-
-use sst_bench::{banner, emit, scale, seed, MAX_CYCLES};
-use sst_mem::MemConfig;
-use sst_sim::area::model_area;
-use sst_sim::report::{f2, f3, Table};
-use sst_sim::{CmpSystem, CoreModel};
-
-const CORE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run e10 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "E10",
-        "CMP throughput scaling (Figure G)",
-        "near-linear to ~4-8 cores, then DRAM/L2 contention; SST chip leads per-cost at every size",
-    );
-
-    for model in [CoreModel::Sst, CoreModel::Ooo64] {
-        let cost = model_area(&model).weighted_cost();
-        let mut t = Table::new([
-            "cores",
-            "throughput IPC",
-            "scaling",
-            "mean core IPC",
-            "DRAM reads",
-            "IPC per Mcost (chip)",
-        ]);
-        let mut base = None;
-        for &n in &CORE_COUNTS {
-            let r = CmpSystem::homogeneous(
-                model.clone(),
-                "erp",
-                scale(),
-                seed(),
-                n,
-                &MemConfig::default(),
-            )
-            .run(MAX_CYCLES);
-            let tp = r.throughput_ipc();
-            let b = *base.get_or_insert(tp);
-            t.row([
-                n.to_string(),
-                f3(tp),
-                format!("{}x", f2(tp / b)),
-                f3(r.mean_core_ipc()),
-                r.mem.dram_reads.to_string(),
-                f2(tp / (cost * n as f64) * 1.0e6),
-            ]);
-        }
-        println!("chip of {} cores:", model.label());
-        emit(&format!("e10_cmp_{}", model.label()), &t);
-    }
+    std::process::exit(sst_harness::cli::experiment_main("e10"));
 }

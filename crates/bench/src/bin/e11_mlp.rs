@@ -1,80 +1,9 @@
-//! E11 / Figure H — Why it works: exposed memory-level parallelism.
+//! E11 / Figure H — Exposed memory-level parallelism by core type.
 //!
-//! For each core type, how much miss traffic it keeps in flight: DRAM
-//! reads per kilocycle (higher = more overlap for the same work), plus the
-//! SST-side counters (misses deferred while another was outstanding).
-
-use sst_bench::{banner, emit, run, workload, MAX_CYCLES};
-use sst_core::{SstConfig, SstCore};
-use sst_mem::{MemConfig, MemSystem};
-use sst_sim::report::{f2, f3, Table};
-use sst_sim::CoreModel;
-use sst_uarch::Core;
-
-const WORKLOADS: [&str; 5] = ["oltp", "erp", "gups", "mcf", "mlp8"];
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run e11 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "E11",
-        "exposed MLP by core type (Figure H)",
-        "SST >= EA >= scout >= in-order miss overlap everywhere except MLP-1 chases",
-    );
-
-    let mut t = Table::new([
-        "workload",
-        "in-order",
-        "scout",
-        "ea",
-        "sst",
-        "ooo-128",
-    ]);
-    for name in WORKLOADS {
-        let mut cells = vec![name.to_string()];
-        for model in [
-            CoreModel::InOrder,
-            CoreModel::Scout,
-            CoreModel::ExecuteAhead,
-            CoreModel::Sst,
-            CoreModel::Ooo128,
-        ] {
-            let r = run(model, name);
-            // Whole-run cycles: the warm-up share is identical across
-            // models and EA-style cores can have degenerate post-warm-up
-            // windows (end-of-run commit bursts).
-            let mpkc = r.mem.dram_reads as f64 * 1000.0 / r.cycles.max(1) as f64;
-            cells.push(f2(mpkc));
-        }
-        t.row(cells);
-    }
-    println!("DRAM reads per kilocycle (same total work => higher = more overlap):");
-    emit("e11_mlp", &t);
-
-    // SST-internal overlap counters.
-    let mut s = Table::new([
-        "workload",
-        "deferred",
-        "overlapped misses",
-        "redeferred",
-        "defer rate",
-    ]);
-    for name in WORKLOADS {
-        let w = workload(name);
-        let mut mem = MemSystem::new(&MemConfig::default(), 1);
-        w.program.load_into(mem.mem_mut());
-        let mut core = SstCore::new(SstConfig::sst(), 0, &w.program);
-        while !core.halted() {
-            assert!(core.cycle() < MAX_CYCLES);
-            core.tick(&mut mem);
-            core.drain_commits();
-        }
-        s.row([
-            name.to_string(),
-            core.stats.deferred.to_string(),
-            core.stats.overlapped_misses.to_string(),
-            core.stats.redeferred.to_string(),
-            f3(core.stats.defer_rate()),
-        ]);
-    }
-    println!("SST speculation anatomy:");
-    emit("e11_sst_anatomy", &s);
+    std::process::exit(sst_harness::cli::experiment_main("e11"));
 }

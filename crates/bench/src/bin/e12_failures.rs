@@ -1,60 +1,9 @@
 //! E12 / Figure I — Speculation outcome breakdown.
 //!
-//! Where each SST speculation episode ends: committed epochs vs
-//! deferred-branch rollbacks, and the stall anatomy (DQ-full, STB-full,
-//! EA-suspend). The paper's design sizing rests on failures being rare
-//! and structure stalls bounded.
-
-use sst_bench::{banner, emit, workload, MAX_CYCLES};
-use sst_core::{SstConfig, SstCore};
-use sst_mem::{MemConfig, MemSystem};
-use sst_sim::report::{f2, Table};
-use sst_uarch::Core;
-use sst_workloads::Workload;
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run e12 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "E12",
-        "speculation outcome breakdown (Figure I)",
-        "commits dominate; deferred-branch failures are a small minority; stalls concentrated on store-heavy code",
-    );
-
-    let mut t = Table::new([
-        "workload",
-        "episodes",
-        "epochs committed",
-        "branch fails",
-        "fail %",
-        "dq-full %cyc",
-        "stb-full %cyc",
-    ]);
-
-    for name in Workload::all_names() {
-        let w = workload(name);
-        let mut mem = MemSystem::new(&MemConfig::default(), 1);
-        w.program.load_into(mem.mem_mut());
-        let mut core = SstCore::new(SstConfig::sst(), 0, &w.program);
-        while !core.halted() {
-            assert!(core.cycle() < MAX_CYCLES, "{name} wedged");
-            core.tick(&mut mem);
-            core.drain_commits();
-        }
-        let ends = core.stats.epochs_committed + core.stats.fail_branch;
-        let fail_pct = if ends == 0 {
-            0.0
-        } else {
-            core.stats.fail_branch as f64 * 100.0 / ends as f64
-        };
-        let cyc = core.cycle() as f64;
-        t.row([
-            name.to_string(),
-            core.stats.episodes.to_string(),
-            core.stats.epochs_committed.to_string(),
-            core.stats.fail_branch.to_string(),
-            f2(fail_pct),
-            f2(core.stats.stall_dq_full as f64 * 100.0 / cyc),
-            f2(core.stats.stall_stb_full as f64 * 100.0 / cyc),
-        ]);
-    }
-    emit("e12_failures", &t);
+    std::process::exit(sst_harness::cli::experiment_main("e12"));
 }

@@ -1,95 +1,9 @@
 //! E1 / T1 — Machine configuration table.
 //!
-//! The paper's configuration table: every core model in the study with its
-//! pipeline widths and key structure sizes, plus the shared frontend and
-//! memory hierarchy.
-
-use sst_bench::{banner, emit};
-use sst_core::SstConfig;
-use sst_inorder::InOrderConfig;
-use sst_mem::MemConfig;
-use sst_ooo::OooConfig;
-use sst_sim::report::Table;
-use sst_uarch::FrontendConfig;
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run e1 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "E1",
-        "machine configurations (Table 1)",
-        "reconstructed configuration table: in-order / scout / EA / SST / OoO lineup",
-    );
-
-    let mut t = Table::new([
-        "model",
-        "width",
-        "checkpoints",
-        "DQ",
-        "store buffer",
-        "ROB",
-        "issue queue",
-        "LQ/SQ",
-        "D$ ports",
-    ]);
-
-    let io = InOrderConfig::default();
-    t.row([
-        "in-order".to_string(),
-        io.width.to_string(),
-        "-".into(),
-        "-".into(),
-        "-".into(),
-        "-".into(),
-        "-".into(),
-        "-".into(),
-        io.dcache_ports.to_string(),
-    ]);
-
-    for cfg in [SstConfig::scout(), SstConfig::execute_ahead(), SstConfig::sst()] {
-        t.row([
-            cfg.label(),
-            cfg.width.to_string(),
-            cfg.checkpoints.to_string(),
-            cfg.dq_entries.to_string(),
-            cfg.stb_entries.to_string(),
-            "-".into(),
-            "-".into(),
-            "-".into(),
-            cfg.dcache_ports.to_string(),
-        ]);
-    }
-
-    for cfg in [OooConfig::ooo_32(), OooConfig::ooo_64(), OooConfig::ooo_128()] {
-        t.row([
-            cfg.label(),
-            cfg.issue_width.to_string(),
-            "-".into(),
-            "-".into(),
-            "-".into(),
-            cfg.rob_entries.to_string(),
-            cfg.iq_entries.to_string(),
-            format!("{}/{}", cfg.lq_entries, cfg.sq_entries),
-            cfg.dcache_ports.to_string(),
-        ]);
-    }
-    emit("e1_configs", &t);
-
-    let fe = FrontendConfig::default();
-    let mem = MemConfig::default();
-    let mut shared = Table::new(["shared component", "value"]);
-    shared.row(["direction predictor", &format!("{:?}", fe.predictor)]);
-    shared.row(["BTB entries", &fe.btb_entries.to_string()]);
-    shared.row(["RAS depth", &fe.ras_depth.to_string()]);
-    shared.row(["redirect penalty", &format!("{} cycles", fe.redirect_penalty)]);
-    shared.row(["L1 I/D", &format!("{} KiB, {}-way, {} B lines", mem.l1d.size_bytes / 1024, mem.l1d.ways, mem.l1d.line_bytes)]);
-    shared.row(["L2 (shared)", &format!("{} KiB, {}-way", mem.l2.size_bytes / 1024, mem.l2.ways)]);
-    shared.row(["L1 / L2 latency", &format!("{} / {} cycles", mem.l1_latency, mem.l2_latency)]);
-    shared.row(["L1D MSHRs", &mem.l1d_mshrs.to_string()]);
-    shared.row(["DRAM base latency", &format!("{} cycles", mem.dram.base_cycles)]);
-    shared.row(["DRAM banks", &mem.dram.banks.to_string()]);
-    emit("e1_shared", &shared);
-
-    println!("The SST rows differ from in-order only by the checkpoint/DQ/");
-    println!("store-buffer columns — the paper's whole added cost. The OoO");
-    println!("rows carry the rename/ROB/issue-window/LSQ machinery SST");
-    println!("eliminates.");
+    std::process::exit(sst_harness::cli::experiment_main("e1"));
 }

@@ -1,83 +1,9 @@
 //! E2 / T2 — Workload characterization.
 //!
-//! Runs every workload on the in-order baseline and reports the
-//! characteristics that drive the study: instruction mix, cache MPKIs,
-//! branch misprediction rate, and DRAM traffic. This is the evidence that
-//! the synthetic suite lands in the regimes the paper attributes to its
-//! benchmarks (DESIGN.md substitution S2).
-
-use sst_bench::{banner, emit, scale, seed, MAX_CYCLES};
-use sst_inorder::{InOrderConfig, InOrderCore};
-use sst_isa::InstClass;
-use sst_mem::{MemConfig, MemSystem};
-use sst_sim::report::{f2, f3, Table};
-use sst_uarch::Core;
-use sst_workloads::Workload;
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run e2 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "E2",
-        "workload characterization (Table 2)",
-        "commercial suite: high L2 MPKI + dependent loads; spec-fp: streaming; micro: MLP extremes",
-    );
-
-    let mut t = Table::new([
-        "workload",
-        "class",
-        "insts",
-        "loads%",
-        "stores%",
-        "branches%",
-        "L1D MPKI",
-        "L2 MPKI",
-        "br-mispred%",
-        "IPC(in-order)",
-    ]);
-
-    for name in Workload::all_names() {
-        let w = Workload::by_name(name, scale(), seed()).expect("known");
-        let mut mem = MemSystem::new(&MemConfig::default(), 1);
-        w.program.load_into(mem.mem_mut());
-        let mut core = InOrderCore::new(InOrderConfig::default(), 0, &w.program);
-
-        let mut class_counts = [0u64; InstClass::ALL.len()];
-        let mut total = 0u64;
-        while !core.halted() {
-            assert!(core.cycle() < MAX_CYCLES, "{name} wedged");
-            core.tick(&mut mem);
-            for c in core.drain_commits() {
-                let idx = InstClass::ALL
-                    .iter()
-                    .position(|&k| k == c.inst.class())
-                    .expect("class covered");
-                class_counts[idx] += 1;
-                total += 1;
-            }
-        }
-        let share = |k: InstClass| {
-            let idx = InstClass::ALL.iter().position(|&x| x == k).unwrap();
-            class_counts[idx] as f64 * 100.0 / total as f64
-        };
-        let st = mem.stats();
-        let bu = core.frontend().branch_unit();
-        let mispred = bu.cond_mispredict_rate() * 100.0;
-
-        t.row([
-            name.to_string(),
-            w.class.label().to_string(),
-            total.to_string(),
-            f2(share(InstClass::Load)),
-            f2(share(InstClass::Store)),
-            f2(share(InstClass::Branch) + share(InstClass::Jump)),
-            f2(st.l1d[0].mpki(total)),
-            f2(st.l2.mpki(total)),
-            f2(mispred),
-            f3(total as f64 / core.cycle() as f64),
-        ]);
-    }
-    emit("e2_workloads", &t);
-
-    println!("Expected regimes: oltp/erp/mcf/gups/chase/mlp8 land in the");
-    println!("tens of L2 MPKI (the paper's commercial regime); gzip/matmul");
-    println!("are cache-resident; gcc/web are branchy (mispredict > 5%).");
+    std::process::exit(sst_harness::cli::experiment_main("e2"));
 }

@@ -1,78 +1,9 @@
-//! E3 / Figure A — Per-benchmark speedup of scout, execute-ahead, and SST
-//! over the in-order baseline.
+//! E3 / Figure A — Speedup of scout, execute-ahead, and SST over the in-order baseline.
 //!
-//! The figure that introduces the mechanism family: hardware scouting
-//! helps via prefetching alone, EA adds result retention, SST adds the
-//! simultaneous deferred strand.
-
-use sst_bench::{banner, emit, run};
-use sst_sim::geomean;
-use sst_sim::report::{f2, f3, Table};
-use sst_sim::CoreModel;
-use sst_workloads::Workload;
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run e3 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "E3",
-        "speedup over in-order: scout / EA / SST (Figure A)",
-        "every mechanism >= 1.0x; ordering scout <= EA <= SST; biggest gains on the commercial suite",
-    );
-
-    let mut t = Table::new([
-        "workload",
-        "in-order IPC",
-        "scout",
-        "ea",
-        "sst",
-    ]);
-    let mut per_class: Vec<(&str, [Vec<f64>; 3])> = vec![
-        ("commercial", Default::default()),
-        ("spec-int", Default::default()),
-        ("spec-fp", Default::default()),
-        ("micro", Default::default()),
-    ];
-
-    for name in Workload::all_names() {
-        let base = run(CoreModel::InOrder, name);
-        let base_ipc = base.measured_ipc();
-        let mut speedups = [0.0f64; 3];
-        for (i, model) in [CoreModel::Scout, CoreModel::ExecuteAhead, CoreModel::Sst]
-            .into_iter()
-            .enumerate()
-        {
-            speedups[i] = run(model, name).measured_ipc() / base_ipc;
-        }
-        let class = sst_workloads::Workload::by_name(name, sst_bench::scale(), sst_bench::seed())
-            .expect("known")
-            .class
-            .label();
-        for (label, accum) in per_class.iter_mut() {
-            if *label == class {
-                for i in 0..3 {
-                    accum[i].push(speedups[i]);
-                }
-            }
-        }
-        t.row([
-            name.to_string(),
-            f3(base_ipc),
-            format!("{}x", f2(speedups[0])),
-            format!("{}x", f2(speedups[1])),
-            format!("{}x", f2(speedups[2])),
-        ]);
-    }
-
-    let mut g = Table::new(["suite", "scout", "ea", "sst"]);
-    for (label, accum) in &per_class {
-        g.row([
-            label.to_string(),
-            format!("{}x", f2(geomean(&accum[0]))),
-            format!("{}x", f2(geomean(&accum[1]))),
-            format!("{}x", f2(geomean(&accum[2]))),
-        ]);
-    }
-
-    emit("e3_speedup_vs_inorder", &t);
-    println!("geometric means by suite:");
-    emit("e3_geomeans", &g);
+    std::process::exit(sst_harness::cli::experiment_main("e3"));
 }

@@ -1,67 +1,9 @@
-//! E4 / Figure B — **The headline**: SST per-thread performance against
-//! out-of-order cores of increasing size.
+//! E4 / Figure B — The headline: SST per-thread performance vs out-of-order cores.
 //!
-//! The abstract's claim: *"Simulations of certain SST implementations show
-//! 18% better per-thread performance on commercial benchmarks than larger
-//! and higher-powered out-of-order cores."* This binary regenerates that
-//! comparison: SST vs ooo-32/ooo-64/ooo-128 per benchmark, with the
-//! commercial-suite geometric mean as the headline number.
-
-use sst_bench::{banner, emit, run};
-use sst_sim::geomean;
-use sst_sim::report::{f3, pct, Table};
-use sst_sim::CoreModel;
-use sst_workloads::Workload;
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run e4 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "E4",
-        "SST vs out-of-order (Figure B, the headline)",
-        "SST ~ +18% over the large OoO on the commercial suite (accept +10..30%); OoO wins on compute-bound kernels",
-    );
-
-    let mut t = Table::new([
-        "workload",
-        "sst IPC",
-        "ooo-32 IPC",
-        "ooo-64 IPC",
-        "ooo-128 IPC",
-        "sst vs ooo-128",
-    ]);
-
-    let mut commercial: Vec<f64> = Vec::new();
-    let mut all_vs_128: Vec<(String, f64)> = Vec::new();
-
-    for name in Workload::all_names() {
-        let sst = run(CoreModel::Sst, name).measured_ipc();
-        let o32 = run(CoreModel::Ooo32, name).measured_ipc();
-        let o64 = run(CoreModel::Ooo64, name).measured_ipc();
-        let o128 = run(CoreModel::Ooo128, name).measured_ipc();
-        let ratio = sst / o128;
-        if Workload::commercial_names().contains(name) {
-            commercial.push(ratio);
-        }
-        all_vs_128.push((name.to_string(), ratio));
-        t.row([
-            name.to_string(),
-            f3(sst),
-            f3(o32),
-            f3(o64),
-            f3(o128),
-            pct(ratio),
-        ]);
-    }
-    emit("e4_vs_ooo", &t);
-
-    let headline = geomean(&commercial);
-    println!("HEADLINE — SST vs ooo-128, commercial-suite geomean: {}", pct(headline));
-    println!("paper: +18% vs \"larger and higher-powered out-of-order cores\"\n");
-
-    let mut s = Table::new(["summary", "value"]);
-    s.row(["commercial geomean (sst/ooo-128)", &pct(headline)]);
-    let mut all: Vec<f64> = all_vs_128.iter().map(|x| x.1).collect();
-    s.row(["all-suite geomean", &pct(geomean(&all))]);
-    all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    s.row(["min / max across workloads", &format!("{} / {}", pct(all[0]), pct(all[all.len() - 1]))]);
-    emit("e4_headline", &s);
+    std::process::exit(sst_harness::cli::experiment_main("e4"));
 }

@@ -1,63 +1,9 @@
 //! E5 / Figure C — Memory-latency sensitivity.
 //!
-//! Sweeps DRAM base latency and reports each model's IPC on the
-//! latency-bound workloads. The paper's motivation: as the memory wall
-//! grows, the checkpoint-based speculation window keeps paying while the
-//! in-order core collapses and the OoO window saturates.
-
-use sst_bench::{banner, emit, run_mem};
-use sst_mem::MemConfig;
-use sst_sim::report::{f2, f3, Table};
-use sst_sim::CoreModel;
-
-const LATENCIES: [u64; 6] = [100, 200, 300, 450, 700, 1000];
-const WORKLOADS: [&str; 3] = ["oltp", "erp", "mcf"];
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run e5 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "E5",
-        "IPC vs DRAM latency (Figure C)",
-        "SST's advantage over in-order and ooo-128 widens with latency",
-    );
-
-    for name in WORKLOADS {
-        let mut t = Table::new([
-            "dram cycles",
-            "in-order",
-            "scout",
-            "ea",
-            "sst",
-            "ooo-128",
-            "sst/in-order",
-            "sst/ooo-128",
-        ]);
-        for base in LATENCIES {
-            let mut cfg = MemConfig::default();
-            cfg.dram.base_cycles = base;
-            let mut ipc = Vec::new();
-            for model in [
-                CoreModel::InOrder,
-                CoreModel::Scout,
-                CoreModel::ExecuteAhead,
-                CoreModel::Sst,
-                CoreModel::Ooo128,
-            ] {
-                ipc.push(run_mem(model, name, &cfg).measured_ipc());
-            }
-            t.row([
-                base.to_string(),
-                f3(ipc[0]),
-                f3(ipc[1]),
-                f3(ipc[2]),
-                f3(ipc[3]),
-                f3(ipc[4]),
-                format!("{}x", f2(ipc[3] / ipc[0])),
-                format!("{}x", f2(ipc[3] / ipc[4])),
-            ]);
-        }
-        println!("workload: {name}");
-        emit(&format!("e5_latency_{name}"), &t);
-    }
-    println!("Shape check: the sst/in-order column grows monotonically on");
-    println!("oltp and erp; on mcf (MLP 1) every mechanism degrades together.");
+    std::process::exit(sst_harness::cli::experiment_main("e5"));
 }

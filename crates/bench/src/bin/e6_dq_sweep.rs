@@ -1,56 +1,9 @@
 //! E6 / Figure D — Deferred-queue size sensitivity.
 //!
-//! The DQ bounds how far the ahead thread can run past outstanding misses;
-//! when it fills, the ahead strand stalls. The paper sizes it so the
-//! common case never saturates — this sweep finds that knee.
-
-use sst_bench::{banner, emit, workload, MAX_CYCLES};
-use sst_core::{SstConfig, SstCore};
-use sst_mem::{MemConfig, MemSystem};
-use sst_sim::report::{f3, Table};
-use sst_uarch::Core;
-
-const SIZES: [usize; 7] = [8, 16, 32, 64, 128, 256, 512];
-const WORKLOADS: [&str; 3] = ["oltp", "erp", "gups"];
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run e6 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "E6",
-        "IPC vs deferred-queue size (Figure D)",
-        "small DQs throttle the ahead thread (dq-full stalls); returns saturate by ~128",
-    );
-
-    for name in WORKLOADS {
-        let mut t = Table::new([
-            "dq entries",
-            "IPC",
-            "dq-full stall cycles",
-            "dq high water",
-            "deferred insts",
-        ]);
-        for n in SIZES {
-            let cfg = SstConfig {
-                dq_entries: n,
-                ..SstConfig::sst()
-            };
-            let w = workload(name);
-            let mut mem = MemSystem::new(&MemConfig::default(), 1);
-            w.program.load_into(mem.mem_mut());
-            let mut core = SstCore::new(cfg, 0, &w.program);
-            while !core.halted() {
-                assert!(core.cycle() < MAX_CYCLES, "{name}/dq{n} wedged");
-                core.tick(&mut mem);
-                core.drain_commits();
-            }
-            t.row([
-                n.to_string(),
-                f3(core.retired() as f64 / core.cycle() as f64),
-                core.stats.stall_dq_full.to_string(),
-                core.dq_high_water().to_string(),
-                core.stats.deferred.to_string(),
-            ]);
-        }
-        println!("workload: {name}");
-        emit(&format!("e6_dq_{name}"), &t);
-    }
+    std::process::exit(sst_harness::cli::experiment_main("e6"));
 }

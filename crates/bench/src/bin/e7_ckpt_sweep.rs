@@ -1,60 +1,9 @@
 //! E7 / Figure E — Checkpoint-count sensitivity.
 //!
-//! One checkpoint is execute-ahead (the ahead thread suspends during
-//! replay); two is ROCK's SST (simultaneous strands); more checkpoints
-//! allow deeper epoch pipelining with diminishing returns. This sweep is
-//! the paper's core design-space argument.
-
-use sst_bench::{banner, emit, workload, MAX_CYCLES};
-use sst_core::{SstConfig, SstCore};
-use sst_mem::{MemConfig, MemSystem};
-use sst_sim::report::{f2, f3, Table};
-use sst_uarch::Core;
-
-const CHECKPOINTS: [usize; 5] = [1, 2, 3, 4, 8];
-const WORKLOADS: [&str; 3] = ["oltp", "erp", "web"];
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run e7 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "E7",
-        "IPC vs checkpoint count (Figure E)",
-        "1 -> 2 checkpoints (EA -> SST) helps; past ~4 the returns vanish",
-    );
-
-    for name in WORKLOADS {
-        let mut t = Table::new([
-            "checkpoints",
-            "IPC",
-            "vs 1 ckpt",
-            "epochs committed",
-            "ea-suspend cycles",
-        ]);
-        let mut base = None;
-        for n in CHECKPOINTS {
-            let cfg = SstConfig {
-                checkpoints: n,
-                ..SstConfig::sst()
-            };
-            let w = workload(name);
-            let mut mem = MemSystem::new(&MemConfig::default(), 1);
-            w.program.load_into(mem.mem_mut());
-            let mut core = SstCore::new(cfg, 0, &w.program);
-            while !core.halted() {
-                assert!(core.cycle() < MAX_CYCLES, "{name}/ckpt{n} wedged");
-                core.tick(&mut mem);
-                core.drain_commits();
-            }
-            let ipc = core.retired() as f64 / core.cycle() as f64;
-            let b = *base.get_or_insert(ipc);
-            t.row([
-                n.to_string(),
-                f3(ipc),
-                format!("{}x", f2(ipc / b)),
-                core.stats.epochs_committed.to_string(),
-                core.stats.stall_ea_replay.to_string(),
-            ]);
-        }
-        println!("workload: {name}");
-        emit(&format!("e7_ckpt_{name}"), &t);
-    }
+    std::process::exit(sst_harness::cli::experiment_main("e7"));
 }

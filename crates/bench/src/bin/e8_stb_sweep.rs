@@ -1,56 +1,9 @@
 //! E8 / Figure F — Store-buffer size sensitivity.
 //!
-//! Speculative stores cannot drain until their epoch commits, so the
-//! store buffer bounds speculation depth on store-heavy code. This sweep
-//! shows the stall knee the paper sizes against.
-
-use sst_bench::{banner, emit, workload, MAX_CYCLES};
-use sst_core::{SstConfig, SstCore};
-use sst_mem::{MemConfig, MemSystem};
-use sst_sim::report::{f3, Table};
-use sst_uarch::Core;
-
-const SIZES: [usize; 6] = [4, 8, 16, 32, 64, 128];
-const WORKLOADS: [&str; 3] = ["gups", "oltp", "stream"];
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run e8 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "E8",
-        "IPC vs store-buffer size (Figure F)",
-        "store-heavy workloads stall hard below ~16 entries; saturation by ~64",
-    );
-
-    for name in WORKLOADS {
-        let mut t = Table::new([
-            "stb entries",
-            "IPC",
-            "stb-full stall cycles",
-            "stb high water",
-            "forwards",
-        ]);
-        for n in SIZES {
-            let cfg = SstConfig {
-                stb_entries: n,
-                ..SstConfig::sst()
-            };
-            let w = workload(name);
-            let mut mem = MemSystem::new(&MemConfig::default(), 1);
-            w.program.load_into(mem.mem_mut());
-            let mut core = SstCore::new(cfg, 0, &w.program);
-            while !core.halted() {
-                assert!(core.cycle() < MAX_CYCLES, "{name}/stb{n} wedged");
-                core.tick(&mut mem);
-                core.drain_commits();
-            }
-            t.row([
-                n.to_string(),
-                f3(core.retired() as f64 / core.cycle() as f64),
-                core.stats.stall_stb_full.to_string(),
-                core.stb_high_water().to_string(),
-                core.stb_forwards().to_string(),
-            ]);
-        }
-        println!("workload: {name}");
-        emit(&format!("e8_stb_{name}"), &t);
-    }
+    std::process::exit(sst_harness::cli::experiment_main("e8"));
 }

@@ -1,51 +1,9 @@
 //! E9 / T3 — Area/power structure proxy and performance-per-cost.
 //!
-//! The paper's efficiency claim in numbers: per-core storage bits for the
-//! speculation structures (SRAM and CAM counted separately), and the
-//! commercial-suite performance divided by that cost. See DESIGN.md
-//! substitution S4 — this is a structure count, not a circuit model.
-
-use sst_bench::{banner, emit, run};
-use sst_sim::area::model_area;
-use sst_sim::report::{f2, f3, Table};
-use sst_sim::{geomean, CoreModel};
-use sst_workloads::Workload;
+//! Thin wrapper over the `sst-harness` registry: equivalent to
+//! `sst-run e9 --jobs 1` (serial, so its output is byte-comparable
+//! with a parallel `sst-run` of the same experiment).
 
 fn main() {
-    banner(
-        "E9",
-        "area/power structure proxy (Table 3)",
-        "SST ~= in-order + DQ/STB/checkpoints; large OoO is several times costlier (CAM-heavy)",
-    );
-
-    let mut t = Table::new([
-        "model",
-        "SRAM bits",
-        "CAM bits",
-        "weighted cost",
-        "commercial IPC (geomean)",
-        "IPC per Mcost",
-    ]);
-
-    for model in CoreModel::lineup() {
-        let est = model_area(&model);
-        let mut ipcs = Vec::new();
-        for name in Workload::commercial_names() {
-            ipcs.push(run(model.clone(), name).measured_ipc());
-        }
-        let ipc = geomean(&ipcs);
-        let cost = est.weighted_cost();
-        t.row([
-            model.label(),
-            est.sram_bits.to_string(),
-            est.cam_bits.to_string(),
-            format!("{:.0}", cost),
-            f3(ipc),
-            f2(ipc / cost * 1.0e6),
-        ]);
-    }
-    emit("e9_area_proxy", &t);
-
-    println!("The last column is the paper's thesis: the SST core's");
-    println!("performance-per-structure-cost dominates every OoO point.");
+    std::process::exit(sst_harness::cli::experiment_main("e9"));
 }

@@ -1,11 +1,14 @@
 //! # sst-bench
 //!
-//! The experiment harness: one binary per reproduced table/figure (see
-//! DESIGN.md's per-experiment index E1–E12 and EXPERIMENTS.md for the
-//! recorded results), plus Criterion benches over scaled-down versions.
+//! Experiment entry points: one thin binary per reproduced table/figure
+//! (see DESIGN.md's per-experiment index E1–E12 and EXPERIMENTS.md for
+//! the recorded results), each delegating to the `sst-harness` registry,
+//! plus an internal timing bench (`cargo bench`) over scaled-down
+//! kernels. The helpers below remain for ad-hoc use and for callers that
+//! want a single `(model, workload)` run without the harness.
 //!
-//! Every binary prints its table as markdown and writes
-//! `results/<id>.csv`. Common environment knobs:
+//! Every binary prints its tables as markdown and writes
+//! `results/<table>.csv`. Common environment knobs:
 //!
 //! * `SST_SCALE=smoke|full` — workload scale (default `full`).
 //! * `SST_SEED=<u64>` — data-generation seed (default 12345).

@@ -1,23 +1,40 @@
-//! Property tests for the branch-prediction structures.
+//! Randomized property tests for the branch-prediction structures, driven
+//! by the workspace's deterministic PRNG (fixed seeds, reproducible
+//! failures); build with `--features ext` for more cases.
 
-use proptest::prelude::*;
 use sst_branch::{Bimodal, Btb, DirectionPredictor, Gshare, ReturnAddressStack, Tournament};
+use sst_prng::Prng;
 
-proptest! {
-    /// A 2-bit counter predictor always converges to a constant direction
-    /// within 4 consecutive identical outcomes.
-    #[test]
-    fn bimodal_converges(pc in any::<u64>(), dir in any::<bool>()) {
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "ext") {
+        base * 8
+    } else {
+        base
+    }
+}
+
+/// A 2-bit counter predictor always converges to a constant direction
+/// within 4 consecutive identical outcomes.
+#[test]
+fn bimodal_converges() {
+    let mut r = Prng::seed_from_u64(0xb7a_0001);
+    for _ in 0..cases(128) {
+        let pc: u64 = r.gen();
+        let dir: bool = r.gen();
         let mut p = Bimodal::new(10);
         for _ in 0..4 {
             p.update(pc, dir);
         }
-        prop_assert_eq!(p.predict(pc), dir);
+        assert_eq!(p.predict(pc), dir);
     }
+}
 
-    /// Gshare converges on any fixed short repeating pattern.
-    #[test]
-    fn gshare_learns_periodic_patterns(pattern in prop::collection::vec(any::<bool>(), 1..6)) {
+/// Gshare converges on any fixed short repeating pattern.
+#[test]
+fn gshare_learns_periodic_patterns() {
+    let mut r = Prng::seed_from_u64(0xb7a_0002);
+    for _ in 0..cases(32) {
+        let pattern: Vec<bool> = (0..r.gen_range(1..6usize)).map(|_| r.gen()).collect();
         let mut p = Gshare::new(12);
         // Train several periods.
         for _ in 0..200 {
@@ -37,64 +54,84 @@ proptest! {
                 total += 1;
             }
         }
-        prop_assert!(
+        assert!(
             correct * 10 >= total * 9,
             "gshare should nail period-{} patterns: {}/{}",
-            pattern.len(), correct, total
+            pattern.len(),
+            correct,
+            total
         );
     }
+}
 
-    /// The tournament never does much worse than its better component on a
-    /// biased stream.
-    #[test]
-    fn tournament_tracks_bias(bias_taken in any::<bool>(), pc in any::<u64>()) {
+/// The tournament never does much worse than its better component on a
+/// biased stream.
+#[test]
+fn tournament_tracks_bias() {
+    let mut r = Prng::seed_from_u64(0xb7a_0003);
+    for _ in 0..cases(128) {
+        let bias_taken: bool = r.gen();
+        let pc: u64 = r.gen();
         let mut t = Tournament::new(10);
         for _ in 0..32 {
             t.update(pc, bias_taken);
         }
-        prop_assert_eq!(t.predict(pc), bias_taken);
+        assert_eq!(t.predict(pc), bias_taken);
     }
+}
 
-    /// BTB: the most recent update for a PC always wins; lookups never
-    /// return a target stored for a different (non-aliasing) PC.
-    #[test]
-    fn btb_last_write_wins(updates in prop::collection::vec((0u64..1024, any::<u64>()), 1..50)) {
+/// BTB: the most recent update for a PC always wins; lookups never return
+/// a target stored for a different (non-aliasing) PC.
+#[test]
+fn btb_last_write_wins() {
+    let mut r = Prng::seed_from_u64(0xb7a_0004);
+    for _ in 0..cases(64) {
+        let n = r.gen_range(1..50usize);
         let mut btb = Btb::new(4096); // big enough that pcs < 1024*4 never alias
         let mut last = std::collections::HashMap::new();
-        for &(slot, target) in &updates {
-            let pc = slot * 4;
+        for _ in 0..n {
+            let pc = r.gen_range(0..1024u64) * 4;
+            let target: u64 = r.gen();
             btb.update(pc, target);
             last.insert(pc, target);
         }
         for (&pc, &target) in &last {
-            prop_assert_eq!(btb.lookup(pc), Some(target));
+            assert_eq!(btb.lookup(pc), Some(target));
         }
     }
+}
 
-    /// RAS: with depth >= number of live frames, call/return nesting is
-    /// predicted perfectly.
-    #[test]
-    fn ras_nesting(depth_order in prop::collection::vec(0u64..1000, 1..8)) {
+/// RAS: with depth >= number of live frames, call/return nesting is
+/// predicted perfectly.
+#[test]
+fn ras_nesting() {
+    let mut r = Prng::seed_from_u64(0xb7a_0005);
+    for _ in 0..cases(128) {
+        let depth_order: Vec<u64> = (0..r.gen_range(1..8usize))
+            .map(|_| r.gen_range(0..1000u64))
+            .collect();
         let mut ras = ReturnAddressStack::new(8);
         for &a in &depth_order {
             ras.push(a);
         }
         for &a in depth_order.iter().rev() {
-            prop_assert_eq!(ras.pop(), Some(a));
+            assert_eq!(ras.pop(), Some(a));
         }
-        prop_assert!(ras.is_empty());
+        assert!(ras.is_empty());
     }
+}
 
-    /// RAS overflow drops the *oldest* frames only.
-    #[test]
-    fn ras_overflow_keeps_youngest(n in 9usize..20) {
+/// RAS overflow drops the *oldest* frames only.
+#[test]
+fn ras_overflow_keeps_youngest() {
+    for n in 9usize..20 {
         let mut ras = ReturnAddressStack::new(8);
         for i in 0..n as u64 {
             ras.push(i);
         }
         for i in (n as u64 - 8..n as u64).rev() {
-            prop_assert_eq!(ras.pop(), Some(i));
+            assert_eq!(ras.pop(), Some(i));
         }
-        prop_assert_eq!(ras.pop(), None);
+        assert_eq!(ras.pop(), None);
     }
 }

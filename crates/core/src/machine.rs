@@ -1109,4 +1109,35 @@ impl Core for SstCore {
             "sst"
         }
     }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let s = &self.stats;
+        let bu = self.frontend.branch_unit_ref();
+        vec![
+            ("episodes", s.episodes),
+            ("epochs_committed", s.epochs_committed),
+            ("deferred", s.deferred),
+            ("replayed", s.replayed),
+            ("redeferred", s.redeferred),
+            ("fail_branch", s.fail_branch),
+            ("scout_rollbacks", s.scout_rollbacks),
+            ("overlapped_misses", s.overlapped_misses),
+            ("stall_frontend", s.stall_frontend),
+            ("stall_operand", s.stall_operand),
+            ("stall_dq_full", s.stall_dq_full),
+            ("stall_stb_full", s.stall_stb_full),
+            ("stall_ea_replay", s.stall_ea_replay),
+            ("stall_halt_wait", s.stall_halt_wait),
+            ("stall_port", s.stall_port),
+            ("stall_lowconf", s.stall_lowconf),
+            ("ahead_issued", s.ahead_issued),
+            ("replay_issued", s.replay_issued),
+            ("mispredicts", s.mispredicts),
+            ("stb_forwards", self.stb_forwards()),
+            ("dq_high_water", self.dq_high_water() as u64),
+            ("stb_high_water", self.stb_high_water() as u64),
+            ("cond_predictions", bu.cond_predictions),
+            ("cond_mispredictions", bu.cond_mispredictions),
+        ]
+    }
 }

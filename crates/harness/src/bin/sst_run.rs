@@ -1,0 +1,5 @@
+//! `sst-run` — the experiment orchestrator. See `sst-run --help`.
+
+fn main() {
+    std::process::exit(sst_harness::cli_main(std::env::args().skip(1)));
+}

@@ -1,0 +1,299 @@
+//! Content-addressed result cache.
+//!
+//! Each completed job is persisted as `results/cache/<hash>.kv`, where
+//! `<hash>` is the FNV-1a hash of the job's canonical cache key (see
+//! [`crate::JobSpec::cache_key`]). The file is a flat `field=value` text
+//! record carrying the full [`JobOutput`] plus the key itself, which is
+//! verified on load so a hash collision degrades to a cache miss instead
+//! of serving wrong numbers. Any unparseable or mismatched file is
+//! likewise a miss — `rm -rf results/cache` is always safe.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use sst_mem::{CacheStats, MemStats};
+use sst_sim::{CmpResult, RunResult};
+
+use crate::job::JobOutput;
+
+/// The cache directory under an output root.
+pub fn cache_dir(out_dir: &Path) -> PathBuf {
+    out_dir.join("results").join("cache")
+}
+
+fn entry_path(out_dir: &Path, hash: u64) -> PathBuf {
+    cache_dir(out_dir).join(format!("{hash:016x}.kv"))
+}
+
+/// Stores a job output. Writes via a temporary file + rename so
+/// concurrent `sst-run` invocations never observe a torn entry.
+pub fn store(out_dir: &Path, hash: u64, key: &str, out: &JobOutput) -> io::Result<()> {
+    let dir = cache_dir(out_dir);
+    fs::create_dir_all(&dir)?;
+    let body = serialize(key, out);
+    let tmp = dir.join(format!("{hash:016x}.tmp.{}", std::process::id()));
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, entry_path(out_dir, hash))
+}
+
+/// Loads a job output, verifying the stored key matches. Returns `None`
+/// on a miss, a key mismatch (hash collision), or a corrupt entry.
+pub fn load(out_dir: &Path, hash: u64, key: &str) -> Option<JobOutput> {
+    let body = fs::read_to_string(entry_path(out_dir, hash)).ok()?;
+    deserialize(&body, key)
+}
+
+fn serialize(key: &str, out: &JobOutput) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("key={key}\n"));
+    match out {
+        JobOutput::Run(r) => {
+            s.push_str("kind=run\n");
+            s.push_str(&format!("model={}\n", r.model));
+            s.push_str(&format!("workload={}\n", r.workload));
+            s.push_str(&format!("cycles={}\n", r.cycles));
+            s.push_str(&format!("insts={}\n", r.insts));
+            s.push_str(&format!("warmup_cycles={}\n", r.warmup_cycles));
+            s.push_str(&format!("warmup_insts={}\n", r.warmup_insts));
+            s.push_str(&format!(
+                "inst_mix={}\n",
+                r.inst_mix
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+            s.push_str(&format!(
+                "counters={}\n",
+                r.counters
+                    .iter()
+                    .map(|(n, v)| format!("{n}:{v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+            write_mem(&mut s, &r.mem);
+        }
+        JobOutput::Cmp(r) => {
+            s.push_str("kind=cmp\n");
+            s.push_str(&format!("model={}\n", r.model));
+            s.push_str(&format!("cycles={}\n", r.cycles));
+            s.push_str(&format!(
+                "per_core={}\n",
+                r.per_core
+                    .iter()
+                    .map(|(c, i)| format!("{c}:{i}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+            write_mem(&mut s, &r.mem);
+        }
+    }
+    s
+}
+
+fn write_mem(s: &mut String, m: &MemStats) {
+    let caches = |v: &[CacheStats]| {
+        v.iter()
+            .map(|c| format!("{}:{}:{}", c.accesses, c.hits, c.writebacks))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    s.push_str(&format!("mem.l1i={}\n", caches(&m.l1i)));
+    s.push_str(&format!("mem.l1d={}\n", caches(&m.l1d)));
+    s.push_str(&format!("mem.l2={}\n", caches(std::slice::from_ref(&m.l2))));
+    s.push_str(&format!("mem.dram_reads={}\n", m.dram_reads));
+    s.push_str(&format!("mem.dram_row_hits={}\n", m.dram_row_hits));
+    s.push_str(&format!("mem.dram_writebacks={}\n", m.dram_writebacks));
+    s.push_str(&format!("mem.mshr_merges={}\n", m.mshr_merges));
+    s.push_str(&format!("mem.mshr_full_delays={}\n", m.mshr_full_delays));
+    s.push_str(&format!("mem.prefetches={}\n", m.prefetches));
+    s.push_str(&format!("mem.useful_prefetches={}\n", m.useful_prefetches));
+}
+
+struct Fields<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(body: &'a str) -> Fields<'a> {
+        Fields {
+            pairs: body
+                .lines()
+                .filter_map(|l| l.split_once('='))
+                .collect(),
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    fn u64(&self, name: &str) -> Option<u64> {
+        self.get(name)?.parse().ok()
+    }
+
+    fn u64_list(&self, name: &str) -> Option<Vec<u64>> {
+        let raw = self.get(name)?;
+        if raw.is_empty() {
+            return Some(Vec::new());
+        }
+        raw.split(',').map(|t| t.parse().ok()).collect()
+    }
+
+    fn pair_list(&self, name: &str) -> Option<Vec<(String, u64)>> {
+        let raw = self.get(name)?;
+        if raw.is_empty() {
+            return Some(Vec::new());
+        }
+        raw.split(',')
+            .map(|t| {
+                let (n, v) = t.split_once(':')?;
+                Some((n.to_string(), v.parse().ok()?))
+            })
+            .collect()
+    }
+
+    fn cache_list(&self, name: &str) -> Option<Vec<CacheStats>> {
+        let raw = self.get(name)?;
+        if raw.is_empty() {
+            return Some(Vec::new());
+        }
+        raw.split(',')
+            .map(|t| {
+                let mut it = t.split(':');
+                let c = CacheStats {
+                    accesses: it.next()?.parse().ok()?,
+                    hits: it.next()?.parse().ok()?,
+                    writebacks: it.next()?.parse().ok()?,
+                };
+                if it.next().is_some() {
+                    return None;
+                }
+                Some(c)
+            })
+            .collect()
+    }
+
+    fn mem(&self) -> Option<MemStats> {
+        let mut m = MemStats::new(0);
+        m.l1i = self.cache_list("mem.l1i")?;
+        m.l1d = self.cache_list("mem.l1d")?;
+        m.l2 = *self.cache_list("mem.l2")?.first()?;
+        m.dram_reads = self.u64("mem.dram_reads")?;
+        m.dram_row_hits = self.u64("mem.dram_row_hits")?;
+        m.dram_writebacks = self.u64("mem.dram_writebacks")?;
+        m.mshr_merges = self.u64("mem.mshr_merges")?;
+        m.mshr_full_delays = self.u64("mem.mshr_full_delays")?;
+        m.prefetches = self.u64("mem.prefetches")?;
+        m.useful_prefetches = self.u64("mem.useful_prefetches")?;
+        Some(m)
+    }
+}
+
+fn deserialize(body: &str, expected_key: &str) -> Option<JobOutput> {
+    let f = Fields::parse(body);
+    if f.get("key")? != expected_key {
+        return None;
+    }
+    match f.get("kind")? {
+        "run" => {
+            let mix = f.u64_list("inst_mix")?;
+            if mix.len() != 10 {
+                return None;
+            }
+            let mut inst_mix = [0u64; 10];
+            inst_mix.copy_from_slice(&mix);
+            Some(JobOutput::Run(RunResult {
+                model: f.get("model")?.to_string(),
+                workload: f.get("workload")?.to_string(),
+                cycles: f.u64("cycles")?,
+                insts: f.u64("insts")?,
+                warmup_cycles: f.u64("warmup_cycles")?,
+                warmup_insts: f.u64("warmup_insts")?,
+                mem: f.mem()?,
+                counters: f.pair_list("counters")?,
+                inst_mix,
+            }))
+        }
+        "cmp" => {
+            let per_core = f
+                .pair_list("per_core")?
+                .into_iter()
+                .map(|(c, i)| Some((c.parse().ok()?, i)))
+                .collect::<Option<Vec<(u64, u64)>>>()?;
+            Some(JobOutput::Cmp(CmpResult {
+                model: f.get("model")?.to_string(),
+                per_core,
+                cycles: f.u64("cycles")?,
+                mem: f.mem()?,
+            }))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_sim::{CoreModel, System};
+    use sst_workloads::{Scale, Workload};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sst-harness-cache-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn some_run() -> RunResult {
+        let w = Workload::by_name("gzip", Scale::Smoke, 3).unwrap();
+        System::new(CoreModel::InOrder, &w)
+            .without_cosim()
+            .run_checked(100_000_000)
+            .unwrap()
+    }
+
+    #[test]
+    fn run_round_trips_exactly() {
+        let r = some_run();
+        let out = JobOutput::Run(r.clone());
+        let dir = tmp_dir("rt");
+        store(&dir, 42, "some-key", &out).unwrap();
+        let back = load(&dir, 42, "some-key").expect("hit");
+        let b = back.run();
+        assert_eq!(b.model, r.model);
+        assert_eq!(b.workload, r.workload);
+        assert_eq!(b.cycles, r.cycles);
+        assert_eq!(b.insts, r.insts);
+        assert_eq!(b.warmup_cycles, r.warmup_cycles);
+        assert_eq!(b.warmup_insts, r.warmup_insts);
+        assert_eq!(b.counters, r.counters);
+        assert_eq!(b.inst_mix, r.inst_mix);
+        assert_eq!(b.mem.l1d, r.mem.l1d);
+        assert_eq!(b.mem.l2, r.mem.l2);
+        assert_eq!(b.mem.dram_reads, r.mem.dram_reads);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn key_mismatch_is_a_miss() {
+        let out = JobOutput::Run(some_run());
+        let dir = tmp_dir("key");
+        store(&dir, 7, "key-a", &out).unwrap();
+        assert!(load(&dir, 7, "key-b").is_none(), "collision must miss");
+        assert!(load(&dir, 8, "key-a").is_none(), "absent hash must miss");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = tmp_dir("corrupt");
+        fs::create_dir_all(cache_dir(&dir)).unwrap();
+        fs::write(cache_dir(&dir).join(format!("{:016x}.kv", 9u64)), "key=k\nkind=run\n").unwrap();
+        assert!(load(&dir, 9, "k").is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,161 @@
+//! The `sst-run` command line, shared by the thin per-experiment
+//! binaries.
+//!
+//! ```text
+//! sst-run all                 # every experiment, all cores
+//! sst-run e4 a1 --jobs 8     # a subset, 8 workers
+//! sst-run e3 --no-cache      # force re-simulation
+//! sst-run --list             # what's available
+//! ```
+
+use crate::registry;
+use crate::sched::{self, RunConfig};
+
+const USAGE: &str = "\
+usage: sst-run [all | <experiment>...] [options]
+
+Runs the study's experiments on a parallel, cached, fault-isolated
+worker pool and writes tables to results/.
+
+experiments:
+  all            every experiment (E1-E12, A1-A4)
+  e1 .. e12      the paper reproductions
+  a1 .. a4       the ablations
+  (legacy binary names like e4_vs_ooo are accepted)
+
+options:
+  --jobs N       worker threads (default: available parallelism)
+  --no-cache     ignore and do not populate results/cache/
+  --list         list experiments and exit
+  --help         this text
+
+environment:
+  SST_SCALE=smoke|full   workload scale (default full)
+  SST_SEED=<u64>         data-generation seed (default 12345)
+  SST_RESULTS=<dir>      output root; results/ is created under it
+  SST_MAX_CYCLES=<u64>   per-job cycle budget (default 2e10)
+
+exit status: 0 when every job succeeded, 1 otherwise.";
+
+/// Parses `args` (without the program name) and runs. Returns the
+/// process exit code.
+pub fn cli_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
+    let mut cfg = RunConfig::from_os();
+    let mut tokens: Vec<String> = Vec::new();
+    let mut want_all = false;
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            "--list" => {
+                for e in registry::all().iter().filter(|e| !e.hidden) {
+                    println!("{:<4} {}", e.id, e.title);
+                }
+                return 0;
+            }
+            "--no-cache" => cfg.use_cache = false,
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.jobs = n,
+                _ => {
+                    eprintln!("sst-run: --jobs needs a positive integer");
+                    return 2;
+                }
+            },
+            _ if a.starts_with("--jobs=") => {
+                match a["--jobs=".len()..].parse::<usize>() {
+                    Ok(n) if n >= 1 => cfg.jobs = n,
+                    _ => {
+                        eprintln!("sst-run: --jobs needs a positive integer");
+                        return 2;
+                    }
+                }
+            }
+            "all" => want_all = true,
+            _ if a.starts_with('-') => {
+                eprintln!("sst-run: unknown option {a:?}\n\n{USAGE}");
+                return 2;
+            }
+            _ => tokens.push(a),
+        }
+    }
+
+    let experiments = if want_all {
+        registry::all()
+            .into_iter()
+            .filter(|e| !e.hidden)
+            .collect::<Vec<_>>()
+    } else if tokens.is_empty() {
+        eprintln!("{USAGE}");
+        return 2;
+    } else {
+        let mut picked = Vec::new();
+        for t in &tokens {
+            match registry::find(t) {
+                Some(e) if !picked.iter().any(|p: &registry::Experiment| p.id == e.id) => {
+                    picked.push(e)
+                }
+                Some(_) => {}
+                None => {
+                    eprintln!("sst-run: unknown experiment {t:?} (try --list)");
+                    return 2;
+                }
+            }
+        }
+        picked
+    };
+
+    run_and_report(&experiments, &cfg)
+}
+
+/// Runs one experiment by id, serially and uncached-by-default-settings
+/// aside (cache stays on), printing its tables. This is what the legacy
+/// per-experiment binaries call: `jobs = 1` keeps them byte-for-byte
+/// comparable with a parallel `sst-run` of the same experiment.
+pub fn experiment_main(id: &str) -> i32 {
+    let mut cfg = RunConfig::from_os();
+    cfg.jobs = 1;
+    match registry::find(id) {
+        Some(e) => run_and_report(&[e], &cfg),
+        None => {
+            eprintln!("unknown experiment {id:?}");
+            2
+        }
+    }
+}
+
+fn run_and_report(experiments: &[registry::Experiment], cfg: &RunConfig) -> i32 {
+    let n_jobs: usize = {
+        let env = cfg.env;
+        experiments.iter().map(|e| (e.jobs)(&env).len()).sum()
+    };
+    if !cfg.quiet {
+        println!(
+            "sst-run: {} experiment(s), {} job(s), {} worker(s), scale={}, cache {}",
+            experiments.len(),
+            n_jobs,
+            cfg.jobs,
+            cfg.env.scale_token(),
+            if cfg.use_cache { "on" } else { "off" },
+        );
+    }
+    let summary = sched::run(experiments, cfg);
+    if !cfg.quiet {
+        println!(
+            "sst-run: {} job(s) done, {} from cache, {} failed",
+            summary.total_jobs,
+            summary.cache_hits,
+            summary.failures.len(),
+        );
+        for f in &summary.failures {
+            println!("  FAILED {}/{} ({}): {}", f.experiment, f.job, f.kind, f.message);
+        }
+    }
+    if summary.clean() {
+        0
+    } else {
+        1
+    }
+}

@@ -1,0 +1,73 @@
+//! The experiment definitions: each of E1–E12 and A1–A4 as a
+//! (jobs, fold) pair, ported from the original standalone binaries.
+
+mod ablations;
+mod core;
+mod sweeps;
+mod system;
+
+use crate::job::{JobKind, JobSpec};
+use crate::registry::{Experiment, Fold, RunCtx};
+use crate::Env;
+
+/// Every experiment, in publication order, plus the hidden `xfail`
+/// fault-injection experiment.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        core::e1(),
+        core::e2(),
+        core::e3(),
+        core::e4(),
+        sweeps::e5(),
+        sweeps::e6(),
+        sweeps::e7(),
+        sweeps::e8(),
+        system::e9(),
+        system::e10(),
+        system::e11(),
+        system::e12(),
+        ablations::a1(),
+        ablations::a2(),
+        ablations::a3(),
+        ablations::a4(),
+        xfail(),
+    ]
+}
+
+/// The suite class label of a workload (for per-class geomeans).
+pub(crate) fn class_of(env: &Env, name: &str) -> &'static str {
+    sst_workloads::Workload::by_name(name, env.scale, env.seed)
+        .unwrap_or_else(|| panic!("unknown workload {name:?}"))
+        .class
+        .label()
+}
+
+/// A deliberately failing experiment for exercising fault isolation:
+/// one job panics, one succeeds. Hidden from `sst-run all`; addressable
+/// as `sst-run xfail`.
+fn xfail() -> Experiment {
+    fn jobs(_env: &Env) -> Vec<JobSpec> {
+        vec![
+            JobSpec {
+                name: "boom".into(),
+                kind: JobKind::Panic {
+                    message: "injected failure (xfail experiment)".into(),
+                },
+            },
+            JobSpec::single("ok/gzip", sst_sim::CoreModel::InOrder, "gzip"),
+        ]
+    }
+    fn fold(_env: &Env, _ctx: &RunCtx) -> Fold {
+        let mut f = Fold::default();
+        f.note("xfail fold ran — this should be impossible (the boom job must fail)".to_string());
+        f
+    }
+    Experiment {
+        id: "xfail",
+        title: "fault-injection check (always fails by design)",
+        paper_note: "harness self-test: the panicking job lands in the manifest, the rest proceed",
+        hidden: true,
+        jobs,
+        fold,
+    }
+}

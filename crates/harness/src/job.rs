@@ -1,0 +1,276 @@
+//! Job specifications: the unit of scheduled, cached, fault-isolated
+//! work. A job is pure — its output is fully determined by its spec plus
+//! the [`Env`] — which is what makes content-addressed caching sound.
+
+use sst_mem::MemConfig;
+use sst_prng::fnv1a;
+use sst_sim::{CmpResult, CmpSystem, CoreModel, RunResult, System};
+use sst_workloads::Workload;
+
+use crate::Env;
+
+/// What a job simulates.
+#[derive(Clone, Debug)]
+pub enum JobKind {
+    /// One `(model, workload)` run on a private memory hierarchy.
+    Single {
+        /// Core model (custom configurations carry their full config).
+        model: CoreModel,
+        /// Workload name (`Workload::by_name`).
+        workload: String,
+        /// Memory hierarchy configuration.
+        mem: MemConfig,
+    },
+    /// An `n`-core CMP throughput run (shared L2 + DRAM channel).
+    Cmp {
+        /// Core model for every core.
+        model: CoreModel,
+        /// Workload name, run homogeneously on all cores.
+        workload: String,
+        /// Core count.
+        cores: usize,
+        /// Memory hierarchy configuration.
+        mem: MemConfig,
+    },
+    /// Panics immediately — exists to exercise the scheduler's fault
+    /// isolation (the hidden `xfail` experiment and the harness tests).
+    Panic {
+        /// The panic payload.
+        message: String,
+    },
+}
+
+/// A named job within an experiment. Names are unique per experiment and
+/// are how the fold step addresses results.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Unique-within-the-experiment name, e.g. `"sst/oltp"` or
+    /// `"dq32/erp"`.
+    pub name: String,
+    /// What to simulate.
+    pub kind: JobKind,
+}
+
+/// A job's result: whichever result type its kind produces.
+#[derive(Clone, Debug)]
+pub enum JobOutput {
+    /// From [`JobKind::Single`].
+    Run(RunResult),
+    /// From [`JobKind::Cmp`].
+    Cmp(CmpResult),
+}
+
+impl JobOutput {
+    /// The single-run result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a CMP result.
+    pub fn run(&self) -> &RunResult {
+        match self {
+            JobOutput::Run(r) => r,
+            JobOutput::Cmp(_) => panic!("expected a single-run result"),
+        }
+    }
+
+    /// The CMP result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a single-run result.
+    pub fn cmp(&self) -> &CmpResult {
+        match self {
+            JobOutput::Cmp(r) => r,
+            JobOutput::Run(_) => panic!("expected a CMP result"),
+        }
+    }
+}
+
+impl JobSpec {
+    /// A single run with the default memory configuration.
+    pub fn single(name: impl Into<String>, model: CoreModel, workload: &str) -> JobSpec {
+        JobSpec::single_mem(name, model, workload, MemConfig::default())
+    }
+
+    /// A single run with an explicit memory configuration.
+    pub fn single_mem(
+        name: impl Into<String>,
+        model: CoreModel,
+        workload: &str,
+        mem: MemConfig,
+    ) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            kind: JobKind::Single {
+                model,
+                workload: workload.to_string(),
+                mem,
+            },
+        }
+    }
+
+    /// A CMP throughput run.
+    pub fn cmp(name: impl Into<String>, model: CoreModel, workload: &str, cores: usize) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            kind: JobKind::Cmp {
+                model,
+                workload: workload.to_string(),
+                cores,
+                mem: MemConfig::default(),
+            },
+        }
+    }
+
+    /// The canonical cache key: a readable string covering everything
+    /// that determines the job's output — experiment id, job kind, full
+    /// model and memory configuration (via their stable `Debug` forms),
+    /// workload, seed, scale, cycle budget, and the crate version (so new
+    /// releases never serve stale numbers).
+    pub fn cache_key(&self, exp_id: &str, env: &Env) -> String {
+        let mut key = format!(
+            "v={};exp={};job={};scale={};seed={};max_cycles={};",
+            env!("CARGO_PKG_VERSION"),
+            exp_id,
+            self.name,
+            env.scale_token(),
+            env.seed,
+            env.max_cycles,
+        );
+        match &self.kind {
+            JobKind::Single { model, workload, mem } => {
+                key.push_str(&format!(
+                    "kind=single;model={model:?};workload={workload};mem={mem:?}"
+                ));
+            }
+            JobKind::Cmp {
+                model,
+                workload,
+                cores,
+                mem,
+            } => {
+                key.push_str(&format!(
+                    "kind=cmp;model={model:?};workload={workload};cores={cores};mem={mem:?}"
+                ));
+            }
+            JobKind::Panic { message } => {
+                key.push_str(&format!("kind=panic;message={message}"));
+            }
+        }
+        key
+    }
+
+    /// FNV-1a hash of the cache key — the cache file name.
+    pub fn cache_hash(&self, exp_id: &str, env: &Env) -> u64 {
+        fnv1a(self.cache_key(exp_id, env).as_bytes())
+    }
+
+    /// Runs the job to completion.
+    ///
+    /// Returns `Err` with a descriptive message for *detected* failures
+    /// (a run exceeding the cycle budget, a co-simulation divergence).
+    /// Model bugs that panic are *not* caught here — the scheduler wraps
+    /// this call in `catch_unwind`.
+    pub fn execute(&self, env: &Env) -> Result<JobOutput, String> {
+        match &self.kind {
+            JobKind::Single { model, workload, mem } => {
+                let w = Workload::by_name(workload, env.scale, env.seed)
+                    .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+                System::with_mem(model.clone(), &w, mem)
+                    .without_cosim()
+                    .run_checked(env.max_cycles)
+                    .map(JobOutput::Run)
+                    .map_err(|e| e.to_string())
+            }
+            JobKind::Cmp {
+                model,
+                workload,
+                cores,
+                mem,
+            } => {
+                // CmpSystem::run panics on a budget overrun; the
+                // scheduler's catch_unwind turns that into a failure
+                // record like any other panic.
+                let r = CmpSystem::homogeneous(
+                    model.clone(),
+                    workload,
+                    env.scale,
+                    env.seed,
+                    *cores,
+                    mem,
+                )
+                .run(env.max_cycles);
+                Ok(JobOutput::Cmp(r))
+            }
+            JobKind::Panic { message } => panic!("{message}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Env {
+        Env {
+            scale: sst_workloads::Scale::Smoke,
+            seed: 7,
+            max_cycles: 100_000_000,
+        }
+    }
+
+    #[test]
+    fn cache_key_is_stable_and_sensitive() {
+        let j = JobSpec::single("sst/oltp", CoreModel::Sst, "oltp");
+        let k1 = j.cache_key("e4", &env());
+        let k2 = j.cache_key("e4", &env());
+        assert_eq!(k1, k2, "same spec, same key");
+        assert_eq!(j.cache_hash("e4", &env()), j.cache_hash("e4", &env()));
+
+        // Any parameter change must move the hash.
+        let mut other = env();
+        other.seed = 8;
+        assert_ne!(j.cache_hash("e4", &env()), j.cache_hash("e4", &other));
+        assert_ne!(j.cache_hash("e4", &env()), j.cache_hash("e3", &env()));
+        let j2 = JobSpec::single("sst/oltp", CoreModel::Sst, "erp");
+        assert_ne!(j.cache_hash("e4", &env()), j2.cache_hash("e4", &env()));
+        let j3 = JobSpec::single("sst/oltp", CoreModel::Scout, "oltp");
+        assert_ne!(j.cache_hash("e4", &env()), j3.cache_hash("e4", &env()));
+    }
+
+    #[test]
+    fn config_contents_reach_the_key() {
+        use sst_core::SstConfig;
+        let a = JobSpec::single(
+            "x",
+            CoreModel::CustomSst(SstConfig {
+                dq_entries: 16,
+                ..SstConfig::sst()
+            }),
+            "gups",
+        );
+        let b = JobSpec::single(
+            "x",
+            CoreModel::CustomSst(SstConfig {
+                dq_entries: 32,
+                ..SstConfig::sst()
+            }),
+            "gups",
+        );
+        assert_ne!(a.cache_hash("e6", &env()), b.cache_hash("e6", &env()));
+    }
+
+    #[test]
+    fn single_executes_and_reports_budget_overruns() {
+        let j = JobSpec::single("io/gzip", CoreModel::InOrder, "gzip");
+        let out = j.execute(&env()).expect("runs");
+        assert!(out.run().insts > 0);
+
+        let tiny = Env {
+            max_cycles: 50,
+            ..env()
+        };
+        let err = j.execute(&tiny).unwrap_err();
+        assert!(err.contains("did not halt"), "{err}");
+    }
+}

@@ -1,0 +1,125 @@
+//! # sst-harness
+//!
+//! Parallel, cached, fault-isolated orchestration for the study's
+//! experiments (E1–E12, A1–A4).
+//!
+//! Each experiment declares a list of **jobs** — independent simulation
+//! units (one `(model, workload, memory-config)` run, or one CMP
+//! throughput run) — plus a **fold** step that assembles the published
+//! tables from the job results. The scheduler executes jobs on a worker
+//! pool (`--jobs N`, default: available parallelism), isolates each job
+//! behind `catch_unwind` and a max-cycle budget, serves repeat runs from a
+//! content-addressed cache under `results/cache/`, and reassembles tables
+//! deterministically regardless of thread count or completion order.
+//!
+//! Outputs, per experiment: the markdown tables on stdout, one CSV per
+//! table under `results/`, and a machine-readable `results/<id>.json`
+//! with the raw per-job numbers (IPC, defer rates, stall breakdowns,
+//! memory-hierarchy counters). A whole-run `results/manifest.json`
+//! records job status, durations, cache hits, and structured failure
+//! records — a panicking or wedged job never takes down the rest of the
+//! run.
+//!
+//! Environment knobs (shared with the thin experiment binaries):
+//!
+//! * `SST_SCALE=smoke|full` — workload scale (default `full`).
+//! * `SST_SEED=<u64>` — data-generation seed (default 12345).
+//! * `SST_RESULTS=<dir>` — where `results/` is created (default CWD).
+//! * `SST_MAX_CYCLES=<u64>` — per-job cycle budget (default 2e10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cli;
+mod experiments;
+pub mod job;
+pub mod json;
+pub mod registry;
+pub mod sched;
+
+pub use cli::cli_main;
+pub use job::{JobKind, JobOutput, JobSpec};
+pub use registry::{Experiment, Fold, FoldItem, RunCtx};
+pub use sched::{FailureRecord, RunConfig, RunSummary};
+
+use std::path::PathBuf;
+
+use sst_workloads::Scale;
+
+/// A generous per-job cycle ceiling (simulations are deterministic; this
+/// only catches model wedges).
+pub const DEFAULT_MAX_CYCLES: u64 = 20_000_000_000;
+
+/// The experiment environment: everything that parameterizes job
+/// *results* (and therefore the cache key). Output locations and thread
+/// counts live in [`RunConfig`] instead — they must never affect results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Env {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Data-generation seed.
+    pub seed: u64,
+    /// Per-job cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Env {
+    /// Reads `SST_SCALE` / `SST_SEED` / `SST_MAX_CYCLES` with the
+    /// documented defaults.
+    pub fn from_os() -> Env {
+        Env {
+            scale: match std::env::var("SST_SCALE").as_deref() {
+                Ok("smoke") => Scale::Smoke,
+                _ => Scale::Full,
+            },
+            seed: std::env::var("SST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(12345),
+            max_cycles: std::env::var("SST_MAX_CYCLES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(DEFAULT_MAX_CYCLES),
+        }
+    }
+
+    /// The scale's token as it appears in cache keys ("smoke"/"full").
+    pub fn scale_token(&self) -> &'static str {
+        match self.scale {
+            Scale::Smoke => "smoke",
+            Scale::Full => "full",
+        }
+    }
+}
+
+impl Default for Env {
+    fn default() -> Env {
+        Env {
+            scale: Scale::Full,
+            seed: 12345,
+            max_cycles: DEFAULT_MAX_CYCLES,
+        }
+    }
+}
+
+/// Output directory root from `SST_RESULTS` (default CWD). `results/` is
+/// created beneath it.
+pub fn out_dir_from_os() -> PathBuf {
+    std::env::var("SST_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_env_is_full_scale() {
+        let e = Env::default();
+        assert_eq!(e.scale, Scale::Full);
+        assert_eq!(e.seed, 12345);
+        assert_eq!(e.scale_token(), "full");
+    }
+}

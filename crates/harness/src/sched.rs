@@ -1,0 +1,522 @@
+//! The scheduler: a work-queue worker pool with per-job fault isolation,
+//! cache integration, deterministic fold ordering, and the run manifest.
+//!
+//! Determinism: job *results* are pure functions of their spec (the
+//! simulators are deterministic), fold steps run on the coordinating
+//! thread in declared experiment order, and folds read results by job
+//! name — so the emitted tables are byte-identical for any `--jobs N`
+//! and any completion order.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::job::{JobOutput, JobSpec};
+use crate::json::JVal;
+use crate::registry::{Experiment, RunCtx};
+use crate::{cache, Env};
+
+/// Scheduler configuration: everything about *how* to run, none of which
+/// may influence results.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Worker thread count (>= 1).
+    pub jobs: usize,
+    /// Serve and populate the content-addressed cache.
+    pub use_cache: bool,
+    /// Output root; `results/` is created beneath it.
+    pub out_dir: PathBuf,
+    /// The experiment environment.
+    pub env: Env,
+    /// Suppress per-job progress lines (tests).
+    pub quiet: bool,
+}
+
+impl RunConfig {
+    /// Defaults: available parallelism, cache on, env + out dir from the
+    /// process environment.
+    pub fn from_os() -> RunConfig {
+        RunConfig {
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            use_cache: true,
+            out_dir: crate::out_dir_from_os(),
+            env: Env::from_os(),
+            quiet: false,
+        }
+    }
+}
+
+/// A structured record of one failed job.
+#[derive(Clone, Debug)]
+pub struct FailureRecord {
+    /// Experiment id.
+    pub experiment: String,
+    /// Job name within the experiment.
+    pub job: String,
+    /// `"panic"` (caught unwind) or `"error"` (detected failure, e.g. a
+    /// cycle-budget overrun).
+    pub kind: String,
+    /// The panic payload or error message.
+    pub message: String,
+}
+
+/// Per-job outcome recorded in the manifest.
+#[derive(Clone, Debug)]
+struct JobRecord {
+    name: String,
+    /// `"ok"`, `"cached"`, or `"failed"`.
+    status: &'static str,
+    duration_ms: u64,
+    cache_hash: u64,
+}
+
+/// Per-experiment outcome.
+struct ExpRecord {
+    id: String,
+    jobs: Vec<JobRecord>,
+    folded: bool,
+}
+
+/// Whole-run summary, also written as `results/manifest.json`.
+pub struct RunSummary {
+    /// Total jobs attempted.
+    pub total_jobs: usize,
+    /// Jobs served from the cache.
+    pub cache_hits: usize,
+    /// Structured failures (empty on a clean run).
+    pub failures: Vec<FailureRecord>,
+    records: Vec<ExpRecord>,
+}
+
+impl RunSummary {
+    /// `true` when every job succeeded and every fold ran.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+enum Outcome {
+    Ok { output: JobOutput, cached: bool },
+    Failed { kind: &'static str, message: String },
+}
+
+struct Done {
+    exp_idx: usize,
+    job_idx: usize,
+    outcome: Outcome,
+    duration_ms: u64,
+}
+
+/// Runs `experiments`' jobs on the worker pool, folds each experiment
+/// whose jobs all succeeded (in the given order), writes CSV/JSON
+/// outputs and `results/manifest.json`, and returns the summary.
+pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
+    let env = cfg.env;
+    let per_exp_jobs: Vec<Vec<JobSpec>> = experiments.iter().map(|e| (e.jobs)(&env)).collect();
+    let total: usize = per_exp_jobs.iter().map(|v| v.len()).sum();
+
+    // The work queue: (experiment index, job index), in declaration
+    // order. Workers pop from the front; order only affects scheduling.
+    let queue: Mutex<std::collections::VecDeque<(usize, usize)>> = Mutex::new(
+        per_exp_jobs
+            .iter()
+            .enumerate()
+            .flat_map(|(ei, jobs)| (0..jobs.len()).map(move |ji| (ei, ji)))
+            .collect(),
+    );
+
+    let (tx, rx) = mpsc::channel::<Done>();
+    let workers = cfg.jobs.max(1).min(total.max(1));
+
+    let mut results: Vec<Vec<Option<JobOutput>>> =
+        per_exp_jobs.iter().map(|v| vec![None; v.len()]).collect();
+    let mut records: Vec<ExpRecord> = experiments
+        .iter()
+        .zip(&per_exp_jobs)
+        .map(|(e, jobs)| ExpRecord {
+            id: e.id.to_string(),
+            jobs: jobs
+                .iter()
+                .map(|j| JobRecord {
+                    name: j.name.clone(),
+                    status: "failed",
+                    duration_ms: 0,
+                    cache_hash: j.cache_hash(e.id, &env),
+                })
+                .collect(),
+            folded: false,
+        })
+        .collect();
+    let mut failures: Vec<FailureRecord> = Vec::new();
+    let mut cache_hits = 0usize;
+
+    // Job panics are caught and recorded; silence the default hook's
+    // backtrace spew for the duration of the pool.
+    let saved_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let per_exp_jobs = &per_exp_jobs;
+            scope.spawn(move || loop {
+                let Some((ei, ji)) = queue.lock().unwrap().pop_front() else {
+                    return;
+                };
+                let spec = &per_exp_jobs[ei][ji];
+                let exp_id = experiments[ei].id;
+                let started = Instant::now();
+                let hash = spec.cache_hash(exp_id, &env);
+                let key = spec.cache_key(exp_id, &env);
+
+                let outcome = if cfg.use_cache {
+                    cache::load(&cfg.out_dir, hash, &key).map(|output| Outcome::Ok {
+                        output,
+                        cached: true,
+                    })
+                } else {
+                    None
+                }
+                .unwrap_or_else(|| {
+                    match catch_unwind(AssertUnwindSafe(|| spec.execute(&env))) {
+                        Ok(Ok(output)) => {
+                            if cfg.use_cache {
+                                // A full cache disk is not a reason to
+                                // lose the run; the store is best-effort.
+                                let _ = cache::store(&cfg.out_dir, hash, &key, &output);
+                            }
+                            Outcome::Ok {
+                                output,
+                                cached: false,
+                            }
+                        }
+                        Ok(Err(message)) => Outcome::Failed {
+                            kind: "error",
+                            message,
+                        },
+                        Err(payload) => Outcome::Failed {
+                            kind: "panic",
+                            message: panic_message(payload.as_ref()),
+                        },
+                    }
+                });
+
+                if tx
+                    .send(Done {
+                        exp_idx: ei,
+                        job_idx: ji,
+                        outcome,
+                        duration_ms: started.elapsed().as_millis() as u64,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut done = 0usize;
+        for msg in rx {
+            done += 1;
+            let rec = &mut records[msg.exp_idx].jobs[msg.job_idx];
+            rec.duration_ms = msg.duration_ms;
+            let (status, detail) = match msg.outcome {
+                Outcome::Ok { output, cached } => {
+                    rec.status = if cached { "cached" } else { "ok" };
+                    if cached {
+                        cache_hits += 1;
+                    }
+                    results[msg.exp_idx][msg.job_idx] = Some(output);
+                    (rec.status, String::new())
+                }
+                Outcome::Failed { kind, message } => {
+                    rec.status = "failed";
+                    failures.push(FailureRecord {
+                        experiment: records[msg.exp_idx].id.clone(),
+                        job: records[msg.exp_idx].jobs[msg.job_idx].name.clone(),
+                        kind: kind.to_string(),
+                        message: message.clone(),
+                    });
+                    ("FAILED", format!(" ({kind}: {message})"))
+                }
+            };
+            if !cfg.quiet {
+                let rec = &records[msg.exp_idx].jobs[msg.job_idx];
+                println!(
+                    "[{done:>4}/{total}] {:<4} {:<28} {status:<6} {:>7.1}s{detail}",
+                    records[msg.exp_idx].id,
+                    rec.name,
+                    rec.duration_ms as f64 / 1000.0,
+                );
+                let _ = std::io::stdout().flush();
+            }
+        }
+    });
+    std::panic::set_hook(saved_hook);
+
+    // Fold phase: strictly in declaration order, on this thread.
+    for (ei, exp) in experiments.iter().enumerate() {
+        let complete = results[ei].iter().all(|r| r.is_some());
+        if !complete {
+            if !cfg.quiet {
+                println!(
+                    "\n{}: skipping fold — {} job(s) failed (see results/manifest.json)",
+                    exp.id,
+                    results[ei].iter().filter(|r| r.is_none()).count()
+                );
+            }
+            continue;
+        }
+        let by_name: BTreeMap<String, JobOutput> = per_exp_jobs[ei]
+            .iter()
+            .zip(results[ei].iter_mut())
+            .map(|(spec, slot)| (spec.name.clone(), slot.take().expect("complete")))
+            .collect();
+        let ctx = RunCtx::new(&by_name);
+        let fold = (exp.fold)(&env, &ctx);
+
+        if !cfg.quiet {
+            banner(exp, &env);
+            for item in &fold.items {
+                match item {
+                    crate::registry::FoldItem::Note(n) => println!("{n}"),
+                    crate::registry::FoldItem::Table(name, t) => {
+                        println!("{}", t.to_markdown());
+                        match t.write_csv(&cfg.out_dir, name) {
+                            Ok(p) => println!("(csv written to {})\n", p.display()),
+                            Err(e) => println!("(csv not written: {e})\n"),
+                        }
+                    }
+                }
+            }
+            println!();
+        } else {
+            for (name, t) in fold.tables() {
+                let _ = t.write_csv(&cfg.out_dir, name);
+            }
+        }
+        write_experiment_json(cfg, exp, &per_exp_jobs[ei], &by_name);
+        records[ei].folded = true;
+    }
+
+    let summary = RunSummary {
+        total_jobs: total,
+        cache_hits,
+        failures,
+        records,
+    };
+    write_manifest(cfg, &summary);
+    summary
+}
+
+fn banner(exp: &Experiment, env: &Env) {
+    println!("===============================================================");
+    println!("{}: {}", exp.id.to_uppercase(), exp.title);
+    println!("  paper target: {}", exp.paper_note);
+    println!("  scale={} seed={}", env.scale_token(), env.seed);
+    println!("===============================================================\n");
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn results_dir(cfg: &RunConfig) -> PathBuf {
+    cfg.out_dir.join("results")
+}
+
+fn write_experiment_json(
+    cfg: &RunConfig,
+    exp: &Experiment,
+    specs: &[JobSpec],
+    by_name: &BTreeMap<String, JobOutput>,
+) {
+    let jobs: Vec<JVal> = specs
+        .iter()
+        .map(|spec| {
+            let mut pairs: Vec<(String, JVal)> =
+                vec![("name".to_string(), JVal::str(&spec.name))];
+            match &by_name[&spec.name] {
+                JobOutput::Run(r) => {
+                    let defer_rate = {
+                        let issued = r.counter("ahead_issued").unwrap_or(0)
+                            + r.counter("replay_issued").unwrap_or(0);
+                        if issued == 0 {
+                            0.0
+                        } else {
+                            r.counter("deferred").unwrap_or(0) as f64 / issued as f64
+                        }
+                    };
+                    pairs.extend([
+                        ("kind".to_string(), JVal::str("run")),
+                        ("model".to_string(), JVal::str(&r.model)),
+                        ("workload".to_string(), JVal::str(&r.workload)),
+                        ("cycles".to_string(), JVal::Int(r.cycles)),
+                        ("insts".to_string(), JVal::Int(r.insts)),
+                        ("ipc".to_string(), JVal::Num(r.ipc())),
+                        ("measured_ipc".to_string(), JVal::Num(r.measured_ipc())),
+                        ("defer_rate".to_string(), JVal::Num(defer_rate)),
+                        (
+                            "inst_mix".to_string(),
+                            JVal::Obj(
+                                sst_isa::InstClass::ALL
+                                    .iter()
+                                    .zip(r.inst_mix.iter())
+                                    .map(|(c, &v)| (c.label().to_string(), JVal::Int(v)))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "counters".to_string(),
+                            JVal::Obj(
+                                r.counters
+                                    .iter()
+                                    .map(|(n, v)| (n.clone(), JVal::Int(*v)))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "mem".to_string(),
+                            JVal::obj([
+                                ("l1d_mpki", JVal::Num(r.mem.l1d[0].mpki(r.insts))),
+                                ("l2_mpki", JVal::Num(r.mem.l2.mpki(r.insts))),
+                                ("dram_reads", JVal::Int(r.mem.dram_reads)),
+                                ("dram_row_hits", JVal::Int(r.mem.dram_row_hits)),
+                                ("mshr_merges", JVal::Int(r.mem.mshr_merges)),
+                                ("prefetches", JVal::Int(r.mem.prefetches)),
+                                (
+                                    "useful_prefetches",
+                                    JVal::Int(r.mem.useful_prefetches),
+                                ),
+                            ]),
+                        ),
+                    ]);
+                }
+                JobOutput::Cmp(r) => {
+                    pairs.extend([
+                        ("kind".to_string(), JVal::str("cmp")),
+                        ("model".to_string(), JVal::str(&r.model)),
+                        ("cycles".to_string(), JVal::Int(r.cycles)),
+                        ("throughput_ipc".to_string(), JVal::Num(r.throughput_ipc())),
+                        ("mean_core_ipc".to_string(), JVal::Num(r.mean_core_ipc())),
+                        (
+                            "per_core".to_string(),
+                            JVal::Arr(
+                                r.per_core
+                                    .iter()
+                                    .map(|&(c, i)| {
+                                        JVal::obj([
+                                            ("cycles", JVal::Int(c)),
+                                            ("insts", JVal::Int(i)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        ("dram_reads".to_string(), JVal::Int(r.mem.dram_reads)),
+                    ]);
+                }
+            }
+            JVal::Obj(pairs)
+        })
+        .collect();
+
+    let doc = JVal::obj([
+        ("experiment", JVal::str(exp.id)),
+        ("title", JVal::str(exp.title)),
+        ("scale", JVal::str(cfg.env.scale_token())),
+        ("seed", JVal::Int(cfg.env.seed)),
+        ("jobs", JVal::Arr(jobs)),
+    ]);
+    let dir = results_dir(cfg);
+    let _ = fs::create_dir_all(&dir);
+    let _ = fs::write(dir.join(format!("{}.json", exp.id)), doc.render_pretty());
+}
+
+fn write_manifest(cfg: &RunConfig, summary: &RunSummary) {
+    let experiments: Vec<JVal> = summary
+        .records
+        .iter()
+        .map(|e| {
+            let failed = e.jobs.iter().filter(|j| j.status == "failed").count();
+            JVal::obj([
+                ("id", JVal::str(&e.id)),
+                (
+                    "status",
+                    JVal::str(if failed == 0 && e.folded {
+                        "ok"
+                    } else if failed == e.jobs.len() && !e.jobs.is_empty() {
+                        "failed"
+                    } else {
+                        "partial"
+                    }),
+                ),
+                ("folded", JVal::Bool(e.folded)),
+                (
+                    "jobs",
+                    JVal::Arr(
+                        e.jobs
+                            .iter()
+                            .map(|j| {
+                                JVal::obj([
+                                    ("name", JVal::str(&j.name)),
+                                    ("status", JVal::str(j.status)),
+                                    ("duration_ms", JVal::Int(j.duration_ms)),
+                                    (
+                                        "cache_key",
+                                        JVal::str(format!("{:016x}", j.cache_hash)),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+
+    let failures: Vec<JVal> = summary
+        .failures
+        .iter()
+        .map(|f| {
+            JVal::obj([
+                ("experiment", JVal::str(&f.experiment)),
+                ("job", JVal::str(&f.job)),
+                ("kind", JVal::str(&f.kind)),
+                ("message", JVal::str(&f.message)),
+            ])
+        })
+        .collect();
+
+    let doc = JVal::obj([
+        ("version", JVal::str(env!("CARGO_PKG_VERSION"))),
+        ("scale", JVal::str(cfg.env.scale_token())),
+        ("seed", JVal::Int(cfg.env.seed)),
+        ("max_cycles", JVal::Int(cfg.env.max_cycles)),
+        ("workers", JVal::Int(cfg.jobs as u64)),
+        ("cache_enabled", JVal::Bool(cfg.use_cache)),
+        ("total_jobs", JVal::Int(summary.total_jobs as u64)),
+        ("cache_hits", JVal::Int(summary.cache_hits as u64)),
+        ("failed_jobs", JVal::Int(summary.failures.len() as u64)),
+        ("experiments", JVal::Arr(experiments)),
+        ("failures", JVal::Arr(failures)),
+    ]);
+    let dir = results_dir(cfg);
+    let _ = fs::create_dir_all(&dir);
+    let _ = fs::write(dir.join("manifest.json"), doc.render_pretty());
+}

@@ -240,6 +240,19 @@ impl Core for InOrderCore {
     fn model_name(&self) -> &'static str {
         "in-order"
     }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let bu = self.frontend.branch_unit_ref();
+        vec![
+            ("issued", self.stats.issued),
+            ("stall_frontend", self.stats.stall_frontend),
+            ("stall_operand", self.stats.stall_operand),
+            ("stall_port", self.stats.stall_port),
+            ("mispredicts", self.stats.mispredicts),
+            ("cond_predictions", bu.cond_predictions),
+            ("cond_mispredictions", bu.cond_mispredictions),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,18 @@
-//! Property tests for the memory hierarchy: timing monotonicity, tag-array
-//! invariants, and functional/timing independence.
+//! Randomized property tests for the memory hierarchy: timing
+//! monotonicity, tag-array invariants, and functional/timing independence.
+//! Driven by the workspace's deterministic PRNG (fixed seeds, reproducible
+//! failures); build with `--features ext` for more cases.
 
-use proptest::prelude::*;
 use sst_mem::{AccessKind, CacheConfig, MemConfig, MemSystem, TagArray};
+use sst_prng::Prng;
+
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "ext") {
+        base * 8
+    } else {
+        base
+    }
+}
 
 fn small_mem() -> MemConfig {
     MemConfig {
@@ -25,78 +35,100 @@ fn small_mem() -> MemConfig {
     }
 }
 
-fn arb_kind() -> impl Strategy<Value = AccessKind> {
-    prop_oneof![
-        Just(AccessKind::Load),
-        Just(AccessKind::Store),
-        Just(AccessKind::IFetch),
-        Just(AccessKind::Prefetch),
-    ]
+const KINDS: [AccessKind; 4] = [
+    AccessKind::Load,
+    AccessKind::Store,
+    AccessKind::IFetch,
+    AccessKind::Prefetch,
+];
+
+fn arb_kind(r: &mut Prng) -> AccessKind {
+    KINDS[r.gen_range(0..KINDS.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Completion time never precedes issue time, for any access sequence.
-    #[test]
-    fn ready_at_is_never_before_issue(
-        seq in prop::collection::vec((arb_kind(), 0u64..1u64 << 20, 0u64..50), 1..200)
-    ) {
+/// Completion time never precedes issue time, for any access sequence.
+#[test]
+fn ready_at_is_never_before_issue() {
+    let mut r = Prng::seed_from_u64(0x3e3_0001);
+    for _ in 0..cases(64) {
         let mut ms = MemSystem::new(&small_mem(), 1);
         let mut now = 0u64;
-        for (kind, addr, gap) in seq {
+        for _ in 0..r.gen_range(1..200usize) {
+            let kind = arb_kind(&mut r);
+            let addr = r.gen_range(0..1u64 << 20);
             let o = ms.access(now, 0, kind, addr);
-            prop_assert!(o.ready_at >= now || kind == AccessKind::Prefetch);
-            now += gap;
+            assert!(o.ready_at >= now || kind == AccessKind::Prefetch);
+            now += r.gen_range(0..50u64);
         }
     }
+}
 
-    /// Repeating the same address back-to-back always ends in an L1 hit.
-    #[test]
-    fn second_access_hits_l1(addr in 0u64..1u64 << 30) {
+/// Repeating the same address back-to-back always ends in an L1 hit.
+#[test]
+fn second_access_hits_l1() {
+    let mut r = Prng::seed_from_u64(0x3e3_0002);
+    for _ in 0..cases(64) {
+        let addr = r.gen_range(0..1u64 << 30);
         let mut ms = MemSystem::new(&small_mem(), 1);
         let a = ms.access(0, 0, AccessKind::Load, addr);
         let b = ms.access(a.ready_at + 1, 0, AccessKind::Load, addr);
-        prop_assert_eq!(b.level, sst_mem::HitLevel::L1);
+        assert_eq!(b.level, sst_mem::HitLevel::L1);
     }
+}
 
-    /// Timing accesses never change memory contents.
-    #[test]
-    fn timing_never_mutates_data(
-        addr in 0u64..1u64 << 20,
-        val in any::<u64>(),
-        probes in prop::collection::vec((arb_kind(), 0u64..1u64 << 20), 1..100),
-    ) {
+/// Timing accesses never change memory contents.
+#[test]
+fn timing_never_mutates_data() {
+    let mut r = Prng::seed_from_u64(0x3e3_0003);
+    for _ in 0..cases(64) {
+        let addr = r.gen_range(0..1u64 << 20);
+        let val: u64 = r.gen();
         let mut ms = MemSystem::new(&small_mem(), 1);
         ms.write(addr, 8, val);
         let mut now = 0;
-        for (kind, a) in probes {
+        for _ in 0..r.gen_range(1..100usize) {
+            let kind = arb_kind(&mut r);
+            let a = r.gen_range(0..1u64 << 20);
             let o = ms.access(now, 0, kind, a);
             now = o.ready_at.max(now) + 1;
         }
-        prop_assert_eq!(ms.read(addr, 8), val);
+        assert_eq!(ms.read(addr, 8), val);
     }
+}
 
-    /// The tag array never exceeds its capacity and fill-then-probe holds.
-    #[test]
-    fn tag_array_capacity_invariant(
-        addrs in prop::collection::vec(0u64..1u64 << 24, 1..300)
-    ) {
-        let cfg = CacheConfig { size_bytes: 2048, ways: 4, line_bytes: 64 };
+/// The tag array never exceeds its capacity and fill-then-probe holds.
+#[test]
+fn tag_array_capacity_invariant() {
+    let mut r = Prng::seed_from_u64(0x3e3_0004);
+    for _ in 0..cases(32) {
+        let cfg = CacheConfig {
+            size_bytes: 2048,
+            ways: 4,
+            line_bytes: 64,
+        };
         let mut tags = TagArray::new(&cfg);
         let capacity = (cfg.size_bytes / cfg.line_bytes) as usize;
-        for a in addrs {
+        for _ in 0..r.gen_range(1..300usize) {
+            let a = r.gen_range(0..1u64 << 24);
             tags.fill(a, false);
-            prop_assert!(tags.probe(a), "line just filled must be present");
-            prop_assert!(tags.valid_lines() <= capacity);
+            assert!(tags.probe(a), "line just filled must be present");
+            assert!(tags.valid_lines() <= capacity);
         }
     }
+}
 
-    /// LRU property: within one set, the most recently touched line of a
-    /// (ways+1)-line working set is never the victim.
-    #[test]
-    fn mru_line_survives_eviction(base in (0u64..1u64 << 16).prop_map(|a| a & !63)) {
-        let cfg = CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 };
+/// LRU property: within one set, the most recently touched line of a
+/// (ways+1)-line working set is never the victim.
+#[test]
+fn mru_line_survives_eviction() {
+    let mut r = Prng::seed_from_u64(0x3e3_0005);
+    for _ in 0..cases(128) {
+        let base = r.gen_range(0..1u64 << 16) & !63;
+        let cfg = CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        };
         let mut tags = TagArray::new(&cfg);
         let stride = 64 * cfg.sets() as u64;
         let a = base;
@@ -106,20 +138,22 @@ proptest! {
         tags.fill(b, false);
         tags.access(a, false); // a is MRU
         tags.fill(c, false); // must evict b
-        prop_assert!(tags.probe(a));
-        prop_assert!(!tags.probe(b));
-        prop_assert!(tags.probe(c));
+        assert!(tags.probe(a));
+        assert!(!tags.probe(b));
+        assert!(tags.probe(c));
     }
+}
 
-    /// Merged misses (same line) never complete later than a fresh miss
-    /// would, and never earlier than the primary fill.
-    #[test]
-    fn merge_bounded_by_primary(offset in 0u64..64) {
+/// Merged misses (same line) never complete later than a fresh miss
+/// would, and never earlier than the primary fill.
+#[test]
+fn merge_bounded_by_primary() {
+    for offset in 0u64..64 {
         let mut ms = MemSystem::new(&small_mem(), 1);
         let base = 0x40_0000u64;
         let primary = ms.access(0, 0, AccessKind::Load, base);
         let merged = ms.access(1, 0, AccessKind::Load, base + offset);
-        prop_assert!(merged.ready_at >= 1);
-        prop_assert!(merged.ready_at <= primary.ready_at.max(1 + ms.config().l1_latency));
+        assert!(merged.ready_at >= 1);
+        assert!(merged.ready_at <= primary.ready_at.max(1 + ms.config().l1_latency));
     }
 }

@@ -756,4 +756,23 @@ impl Core for OooCore {
     fn model_name(&self) -> &'static str {
         "out-of-order"
     }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let bu = self.frontend.branch_unit_ref();
+        vec![
+            ("issued", self.stats.issued),
+            ("stall_frontend", self.stats.stall_frontend),
+            ("stall_rob_full", self.stats.stall_rob_full),
+            ("stall_iq_full", self.stats.stall_iq_full),
+            ("stall_lsq_full", self.stats.stall_lsq_full),
+            ("stall_branch_resolve", self.stats.stall_branch_resolve),
+            ("mispredicts", self.stats.mispredicts),
+            ("violations", self.stats.violations),
+            ("forwards", self.stats.forwards),
+            ("wrong_path_prefetches", self.stats.wrong_path_prefetches),
+            ("rob_high_water", self.stats.rob_high_water as u64),
+            ("cond_predictions", bu.cond_predictions),
+            ("cond_mispredictions", bu.cond_mispredictions),
+        ]
+    }
 }

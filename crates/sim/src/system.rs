@@ -1,6 +1,7 @@
 //! Single-core simulation with warm-up accounting and optional
 //! co-simulation.
 
+use sst_isa::InstClass;
 use sst_mem::{Cycle, MemConfig, MemStats, MemSystem};
 use sst_uarch::Core;
 use sst_workloads::Workload;
@@ -24,6 +25,12 @@ pub struct RunResult {
     pub warmup_insts: u64,
     /// Memory-hierarchy statistics.
     pub mem: MemStats,
+    /// Model-specific counters (`Core::counters`), in the core's stable
+    /// display order: defer rates, stall breakdowns, prediction counts...
+    /// Owned keys so results can round-trip through the harness cache.
+    pub counters: Vec<(String, u64)>,
+    /// Committed-instruction mix, indexed like [`InstClass::ALL`].
+    pub inst_mix: [u64; 10],
 }
 
 impl RunResult {
@@ -50,6 +57,18 @@ impl RunResult {
     /// Measured-window cycles.
     pub fn measured_cycles(&self) -> Cycle {
         self.cycles - self.warmup_cycles
+    }
+
+    /// Looks up a model counter by name (`None` when the model does not
+    /// report it).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Fraction of committed instructions in `class`.
+    pub fn mix_fraction(&self, class: InstClass) -> f64 {
+        let i = InstClass::ALL.iter().position(|&c| c == class).unwrap();
+        self.inst_mix[i] as f64 / self.insts.max(1) as f64
     }
 }
 
@@ -101,6 +120,12 @@ impl System {
     pub fn run_checked(mut self, max_cycles: Cycle) -> Result<RunResult, CosimError> {
         let mut warmup_cycles = 0;
         let mut committed = 0u64;
+        let mut inst_mix = [0u64; 10];
+        let mut tally = |inst: sst_isa::Inst| {
+            let class = inst.class();
+            let i = InstClass::ALL.iter().position(|&c| c == class).unwrap();
+            inst_mix[i] += 1;
+        };
 
         while !self.core.halted() {
             if self.core.cycle() >= max_cycles {
@@ -118,6 +143,7 @@ impl System {
                 if let Some(ck) = self.checker.as_mut() {
                     ck.check(c)?;
                 }
+                tally(c.inst);
                 committed += 1;
                 if committed == self.skip_insts {
                     warmup_cycles = self.core.cycle();
@@ -129,6 +155,7 @@ impl System {
             if let Some(ck) = self.checker.as_mut() {
                 ck.check(&c)?;
             }
+            tally(c.inst);
             committed += 1;
         }
 
@@ -140,6 +167,13 @@ impl System {
             warmup_cycles,
             warmup_insts: self.skip_insts.min(committed),
             mem: self.mem.stats(),
+            counters: self
+                .core
+                .counters()
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+            inst_mix,
         })
     }
 
@@ -175,6 +209,23 @@ mod tests {
         assert!(r.ipc() > 0.05 && r.ipc() < 2.0, "ipc {}", r.ipc());
         assert!(r.measured_ipc() > 0.0);
         assert!(r.warmup_cycles < r.cycles);
+        // Counters and instruction mix ride along on every run.
+        assert!(r.counter("issued").unwrap() >= r.insts);
+        assert!(r.counter("cond_predictions").unwrap() > 0);
+        assert_eq!(r.inst_mix.iter().sum::<u64>(), r.insts);
+        assert!(r.mix_fraction(sst_isa::InstClass::Load) > 0.0);
+        assert_eq!(r.inst_mix[9], 1, "exactly one halt commits");
+    }
+
+    #[test]
+    fn sst_counters_surface_speculation_activity() {
+        let w = Workload::by_name("erp", Scale::Smoke, 3).unwrap();
+        let r = System::measure(CoreModel::Sst, &w, 100_000_000);
+        assert!(r.counter("episodes").unwrap() > 0, "erp must trigger episodes");
+        assert!(r.counter("deferred").unwrap() > 0);
+        assert!(r.counter("epochs_committed").unwrap() > 0);
+        // Unknown names come back as None, not a panic.
+        assert_eq!(r.counter("no-such-counter"), None);
     }
 
     #[test]

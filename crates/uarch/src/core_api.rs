@@ -56,6 +56,15 @@ pub trait Core {
 
     /// A short human-readable model name ("in-order", "sst", ...).
     fn model_name(&self) -> &'static str;
+
+    /// Model-specific counters as `(name, value)` pairs, in a stable
+    /// display order. Names are shared across models where the concept is
+    /// the same (`stall_frontend`, `mispredicts`, ...) so downstream
+    /// tables can line models up side by side. The default is empty for
+    /// cores that expose nothing beyond [`Core::retired`]/[`Core::cycle`].
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

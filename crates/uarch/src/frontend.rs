@@ -125,6 +125,11 @@ impl Frontend {
         &mut self.unit
     }
 
+    /// Read-only view of the branch unit, for statistics reporting.
+    pub fn branch_unit_ref(&self) -> &BranchUnit {
+        &self.unit
+    }
+
     /// Instructions currently queued for the core.
     pub fn queued(&self) -> usize {
         self.queue.len()

@@ -1,10 +1,20 @@
 //! Frontend behavioural tests: fetch-bandwidth limits, queue capacity,
 //! line-crossing, and redirect semantics under randomized programs.
+//! Driven by the workspace's deterministic PRNG; build with
+//! `--features ext` for more cases.
 
-use proptest::prelude::*;
 use sst_isa::{Asm, Reg};
 use sst_mem::{MemConfig, MemSystem};
+use sst_prng::Prng;
 use sst_uarch::{Frontend, FrontendConfig};
+
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "ext") {
+        base * 8
+    } else {
+        base
+    }
+}
 
 fn warm_setup(n_nops: usize, width: usize, depth: usize) -> (Frontend, MemSystem) {
     let mut a = Asm::new();
@@ -39,37 +49,45 @@ fn warm_setup(n_nops: usize, width: usize, depth: usize) -> (Frontend, MemSystem
     (fe, ms)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Per-cycle fetch never exceeds the configured width.
-    #[test]
-    fn fetch_respects_width(width in 1usize..6, nops in 32usize..200) {
+/// Per-cycle fetch never exceeds the configured width.
+#[test]
+fn fetch_respects_width() {
+    let mut r = Prng::seed_from_u64(0xfe_0001);
+    for _ in 0..cases(24) {
+        let width = r.gen_range(1..6usize);
+        let nops = r.gen_range(32..200usize);
         let (mut fe, mut ms) = warm_setup(nops, width, 64);
         // Drain whatever warm-up queued, then measure one warm cycle.
         while fe.pop().is_some() {}
-        let mut t = 1_000_000; // far past any stall
+        let t = 1_000_000; // far past any stall
         let before = fe.queued();
         fe.tick(t, &mut ms, 0);
         let after = fe.queued();
-        prop_assert!(after - before <= width, "fetched {} > width {width}", after - before);
-        t += 1;
-        let _ = t;
+        assert!(after - before <= width, "fetched {} > width {width}", after - before);
     }
+}
 
-    /// The decode queue never exceeds its configured depth.
-    #[test]
-    fn queue_depth_is_respected(depth in 1usize..12, nops in 64usize..200) {
+/// The decode queue never exceeds its configured depth.
+#[test]
+fn queue_depth_is_respected() {
+    let mut r = Prng::seed_from_u64(0xfe_0002);
+    for _ in 0..cases(12) {
+        let depth = r.gen_range(1..12usize);
+        let nops = r.gen_range(64..200usize);
         let (mut fe, mut ms) = warm_setup(nops, 4, depth);
         for t in 0..5_000u64 {
             fe.tick(1_000_000 + t, &mut ms, 0);
-            prop_assert!(fe.queued() <= depth);
+            assert!(fe.queued() <= depth);
         }
     }
+}
 
-    /// Instructions come out in consecutive PC order for straight-line code.
-    #[test]
-    fn straight_line_pcs_are_consecutive(nops in 10usize..100) {
+/// Instructions come out in consecutive PC order for straight-line code.
+#[test]
+fn straight_line_pcs_are_consecutive() {
+    let mut r = Prng::seed_from_u64(0xfe_0003);
+    for _ in 0..cases(24) {
+        let nops = r.gen_range(10..100usize);
         let (mut fe, mut ms) = warm_setup(nops, 2, 16);
         while fe.pop().is_some() {}
         let mut fetched = Vec::new();
@@ -81,15 +99,20 @@ proptest! {
             }
             t += 1;
         }
-        prop_assert!(fetched.len() >= 2);
+        assert!(fetched.len() >= 2);
         for w in fetched.windows(2) {
-            prop_assert_eq!(w[1], w[0] + 4);
+            assert_eq!(w[1], w[0] + 4);
         }
     }
+}
 
-    /// After a redirect, the first delivered instruction is at the target.
-    #[test]
-    fn redirect_lands_on_target(nops in 20usize..100, skip in 1usize..15) {
+/// After a redirect, the first delivered instruction is at the target.
+#[test]
+fn redirect_lands_on_target() {
+    let mut r = Prng::seed_from_u64(0xfe_0004);
+    for _ in 0..cases(24) {
+        let nops = r.gen_range(20..100usize);
+        let skip = r.gen_range(1..15usize);
         let (mut fe, mut ms) = warm_setup(nops, 2, 16);
         let target = {
             // Entry + skip instructions (still inside the nop range).
@@ -103,6 +126,6 @@ proptest! {
             t += 1;
         }
         let first = fe.pop().expect("fetch resumed");
-        prop_assert_eq!(first.pc, target);
+        assert_eq!(first.pc, target);
     }
 }

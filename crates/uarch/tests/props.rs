@@ -1,10 +1,20 @@
-//! Property tests for the speculation substrate: store-buffer overlay
-//! semantics vs a byte-level oracle, NT merge-rule invariants, and
-//! deferred-queue order preservation.
+//! Randomized property tests for the speculation substrate: store-buffer
+//! overlay semantics vs a byte-level oracle, NT merge-rule invariants, and
+//! deferred-queue order preservation. Driven by the workspace's
+//! deterministic PRNG (fixed seeds, reproducible failures); build with
+//! `--features ext` for more cases.
 
-use proptest::prelude::*;
 use sst_isa::{Reg, SparseMem};
+use sst_prng::Prng;
 use sst_uarch::{DeferredQueue, DqEntry, ForwardResult, RegImage, StoreBuffer, StoreEntry};
+
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "ext") {
+        base * 8
+    } else {
+        base
+    }
+}
 
 /// A reference "memory + ordered stores" oracle for overlay reads.
 fn oracle_read(
@@ -32,23 +42,24 @@ fn oracle_read(
     u64::from_le_bytes(buf) & if bytes == 8 { u64::MAX } else { (1 << (bytes * 8)) - 1 }
 }
 
-fn arb_width() -> impl Strategy<Value = u64> {
-    prop_oneof![Just(1u64), Just(2), Just(4), Just(8)]
+fn arb_width(r: &mut Prng) -> u64 {
+    [1u64, 2, 4, 8][r.gen_range(0..4usize)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// read_overlay must agree with a byte-level oracle for any set of
+/// resolved stores.
+#[test]
+fn overlay_matches_oracle() {
+    let mut r = Prng::seed_from_u64(0x0a7c_0001);
+    for _ in 0..cases(128) {
+        let stores: Vec<(u64, u64, u64)> = (0..r.gen_range(0..12usize))
+            .map(|_| (r.gen_range(0..64u64), arb_width(&mut r), r.gen()))
+            .collect();
+        let laddr = r.gen_range(0..64u64);
+        let lbytes = arb_width(&mut r);
+        let lseq_off = r.gen_range(0..14u64);
+        let mem_val: u64 = r.gen();
 
-    /// read_overlay must agree with a byte-level oracle for any set of
-    /// resolved stores.
-    #[test]
-    fn overlay_matches_oracle(
-        stores in prop::collection::vec((0u64..64, arb_width(), any::<u64>()), 0..12),
-        laddr in 0u64..64,
-        lbytes in arb_width(),
-        lseq_off in 0u64..14,
-        mem_val in any::<u64>(),
-    ) {
         let mut mem = SparseMem::new();
         for i in 0..10 {
             mem.write_u64(i * 8, mem_val.wrapping_add(i));
@@ -57,56 +68,82 @@ proptest! {
         let mut ordered = Vec::new();
         for (i, &(addr, bytes, value)) in stores.iter().enumerate() {
             let seq = i as u64 + 1;
-            sb.push(StoreEntry { seq, addr: Some(addr), bytes, value: Some(value) });
+            sb.push(StoreEntry {
+                seq,
+                addr: Some(addr),
+                bytes,
+                value: Some(value),
+            });
             ordered.push((seq, addr, bytes, value));
         }
         let load_seq = lseq_off + 1;
         let got = sb.read_overlay(load_seq, laddr, lbytes, &mem);
         let want = oracle_read(&mem, &ordered, load_seq, laddr, lbytes);
-        prop_assert_eq!(got, Some(want));
+        assert_eq!(got, Some(want));
     }
+}
 
-    /// forward() never returns a wrong value: when it forwards, the value
-    /// matches the oracle; when it says NoMatch, memory-only matches.
-    #[test]
-    fn forward_is_sound(
-        stores in prop::collection::vec((0u64..32, arb_width(), any::<u64>()), 0..8),
-        laddr in 0u64..32,
-        lbytes in arb_width(),
-    ) {
+/// forward() never returns a wrong value: when it forwards, the value
+/// matches the oracle; when it says NoMatch, memory-only matches.
+#[test]
+fn forward_is_sound() {
+    let mut r = Prng::seed_from_u64(0x0a7c_0002);
+    for _ in 0..cases(128) {
+        let stores: Vec<(u64, u64, u64)> = (0..r.gen_range(0..8usize))
+            .map(|_| (r.gen_range(0..32u64), arb_width(&mut r), r.gen()))
+            .collect();
+        let laddr = r.gen_range(0..32u64);
+        let lbytes = arb_width(&mut r);
+
         let mem = SparseMem::new();
         let mut sb = StoreBuffer::new(16);
         let mut ordered = Vec::new();
         for (i, &(addr, bytes, value)) in stores.iter().enumerate() {
             let seq = i as u64 + 1;
-            sb.push(StoreEntry { seq, addr: Some(addr), bytes, value: Some(value) });
+            sb.push(StoreEntry {
+                seq,
+                addr: Some(addr),
+                bytes,
+                value: Some(value),
+            });
             ordered.push((seq, addr, bytes, value));
         }
         let load_seq = stores.len() as u64 + 1;
         let want = oracle_read(&mem, &ordered, load_seq, laddr, lbytes);
         match sb.forward(load_seq, laddr, lbytes) {
-            ForwardResult::Forward(v) => prop_assert_eq!(v, want, "forwarded value wrong"),
+            ForwardResult::Forward(v) => assert_eq!(v, want, "forwarded value wrong"),
             ForwardResult::NoMatch => {
                 // No older store overlaps; memory value (zero here) is it.
-                prop_assert_eq!(want, 0, "NoMatch but an older store overlapped");
+                assert_eq!(want, 0, "NoMatch but an older store overlapped");
             }
             ForwardResult::MustWait => {} // conservative is always sound
-            ForwardResult::NotThere { .. } => prop_assert!(false, "all stores resolved"),
+            ForwardResult::NotThere { .. } => panic!("all stores resolved"),
         }
     }
+}
 
-    /// The NT merge rule: a merge lands iff the register is NT with the
-    /// matching writer, and at most one merge per (reg, writer) lands.
-    #[test]
-    fn merge_rule_invariants(
-        writes in prop::collection::vec((1u8..64, any::<u64>(), 1u64..100), 1..20),
-        merge_reg in 1u8..64,
-        merge_writer in 1u64..100,
-        merge_val in any::<u64>(),
-    ) {
+/// The NT merge rule: a merge lands iff the register is NT with the
+/// matching writer, and at most one merge per (reg, writer) lands.
+#[test]
+fn merge_rule_invariants() {
+    let mut r = Prng::seed_from_u64(0x0a7c_0003);
+    for _ in 0..cases(128) {
+        let writes: Vec<(u8, u64, u64)> = (0..r.gen_range(1..20usize))
+            .map(|_| {
+                (
+                    r.gen_range(1..64u8),
+                    r.gen(),
+                    r.gen_range(1..100u64),
+                )
+            })
+            .collect();
+        let merge_reg = r.gen_range(1..64u8);
+        let merge_writer = r.gen_range(1..100u64);
+        let merge_val: u64 = r.gen();
+
         let mut im = RegImage::new();
-        for &(r, v, seq) in &writes {
-            let reg = Reg::from_index(r).unwrap();
+        for &(reg_idx, v, seq) in &writes {
+            let reg = Reg::from_index(reg_idx).unwrap();
             if v % 3 == 0 {
                 im.mark_nt(reg, seq);
             } else {
@@ -117,24 +154,27 @@ proptest! {
         let was_nt = im.is_nt(reg);
         let was_writer = im.slot(reg).writer;
         let landed = im.merge(reg, merge_val, merge_writer, 0);
-        prop_assert_eq!(landed, was_nt && was_writer == merge_writer);
+        assert_eq!(landed, was_nt && was_writer == merge_writer);
         if landed {
-            prop_assert_eq!(im.value(reg), merge_val);
-            prop_assert!(!im.is_nt(reg));
+            assert_eq!(im.value(reg), merge_val);
+            assert!(!im.is_nt(reg));
             // A second identical merge must not land (no longer NT).
-            prop_assert!(!im.merge(reg, merge_val ^ 1, merge_writer, 0));
-            prop_assert_eq!(im.value(reg), merge_val);
+            assert!(!im.merge(reg, merge_val ^ 1, merge_writer, 0));
+            assert_eq!(im.value(reg), merge_val);
         }
     }
+}
 
-    /// DQ: any interleaving of pushes and ordered-retains keeps entries in
-    /// strictly increasing seq order and never exceeds capacity.
-    #[test]
-    fn dq_order_invariant(ops in prop::collection::vec(any::<bool>(), 1..100)) {
+/// DQ: any interleaving of pushes and ordered-retains keeps entries in
+/// strictly increasing seq order and never exceeds capacity.
+#[test]
+fn dq_order_invariant() {
+    let mut r = Prng::seed_from_u64(0x0a7c_0004);
+    for _ in 0..cases(64) {
         let mut q = DeferredQueue::new(16);
         let mut next_seq = 1u64;
-        for op in ops {
-            if op && !q.is_full() {
+        for _ in 0..r.gen_range(1..100usize) {
+            if r.gen::<bool>() && !q.is_full() {
                 q.push(DqEntry {
                     seq: next_seq,
                     pc: 0x1000,
@@ -151,18 +191,20 @@ proptest! {
                 let _ = q.retain_ordered(|e| e.seq % 3 == 0);
             }
             let seqs: Vec<u64> = q.iter().map(|e| e.seq).collect();
-            prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]));
-            prop_assert!(q.len() <= q.capacity());
+            assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+            assert!(q.len() <= q.capacity());
         }
     }
+}
 
-    /// Store buffer drain/squash partition: entries either drain (seq <=
-    /// boundary) or survive, never both, and drains come out in order.
-    #[test]
-    fn stb_drain_squash_partition(
-        n in 1usize..16,
-        boundary in 1u64..20,
-    ) {
+/// Store buffer drain/squash partition: entries either drain (seq <=
+/// boundary) or survive, never both, and drains come out in order.
+#[test]
+fn stb_drain_squash_partition() {
+    let mut r = Prng::seed_from_u64(0x0a7c_0005);
+    for _ in 0..cases(128) {
+        let n = r.gen_range(1..16usize);
+        let boundary = r.gen_range(1..20u64);
         let mut sb = StoreBuffer::new(32);
         for i in 0..n {
             sb.push(StoreEntry {
@@ -173,13 +215,13 @@ proptest! {
             });
         }
         let drained = sb.drain_through(boundary);
-        prop_assert!(drained.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(drained.windows(2).all(|w| w[0].seq < w[1].seq));
         for d in &drained {
-            prop_assert!(d.seq <= boundary);
+            assert!(d.seq <= boundary);
         }
         for e in sb.iter() {
-            prop_assert!(e.seq > boundary);
+            assert!(e.seq > boundary);
         }
-        prop_assert_eq!(drained.len() + sb.len(), n);
+        assert_eq!(drained.len() + sb.len(), n);
     }
 }

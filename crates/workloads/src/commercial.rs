@@ -25,7 +25,7 @@ pub fn oltp(scale: Scale, seed: u64, slot: usize) -> Workload {
     let chain = pointer_chain(&mut a, &mut r, nodes, 64);
     // Hash directory: pointers to random chain nodes.
     let dir_words: Vec<u64> = (0..dir_entries)
-        .map(|_| chain + (rand::Rng::gen_range(&mut r, 0..nodes)) * 64)
+        .map(|_| chain + (r.gen_range(0..nodes)) * 64)
         .collect();
     let dir = a.data_u64(&dir_words);
     let log = a.reserve(64 * 1024);
@@ -117,7 +117,7 @@ pub fn erp(scale: Scale, seed: u64, slot: usize) -> Workload {
     let heap = pointer_chain(&mut a, &mut r, objects, 64);
     // Object handle table: all objects, first `hot_objects` are "hot".
     let handles: Vec<u64> = (0..objects)
-        .map(|_| heap + rand::Rng::gen_range(&mut r, 0..objects) * 64)
+        .map(|_| heap + r.gen_range(0..objects) * 64)
         .collect();
     let table = a.data_u64(&handles);
 
@@ -199,9 +199,9 @@ pub fn web(scale: Scale, seed: u64, slot: usize) -> Workload {
     // (header tokens, mean length ~7).
     let mut bytes: Vec<u8> = Vec::with_capacity(buf_bytes as usize);
     while bytes.len() < buf_bytes as usize {
-        let len = rand::Rng::gen_range(&mut r, 3..12usize);
+        let len = r.gen_range(3..12usize);
         for _ in 0..len {
-            bytes.push(rand::Rng::gen_range(&mut r, 1..=255u8));
+            bytes.push(r.gen_range(1..=255u8));
         }
         bytes.push(0);
     }
@@ -211,7 +211,7 @@ pub fn web(scale: Scale, seed: u64, slot: usize) -> Workload {
     // Session table: pointers into a large object heap (8 MiB full scale).
     let heap = pointer_chain(&mut a, &mut r, sessions, 64);
     let handles: Vec<u64> = (0..sessions)
-        .map(|_| heap + rand::Rng::gen_range(&mut r, 0..sessions) * 64)
+        .map(|_| heap + r.gen_range(0..sessions) * 64)
         .collect();
     let session_tab = a.data_u64(&handles);
     let table = random_words(&mut a, &mut r, 8 * 1024); // 64 KiB mime table

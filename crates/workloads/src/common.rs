@@ -1,9 +1,8 @@
 //! Shared generator helpers: seeded data-image construction and common
 //! code idioms.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sst_isa::{Asm, Reg};
+use sst_prng::Prng;
 
 /// An [`Asm`] whose text/data segments live in `slot`'s private address
 /// range. Slot 0 is the default layout; each further slot is offset by
@@ -14,12 +13,12 @@ pub fn slot_asm(slot: usize) -> Asm {
 }
 
 /// A seeded RNG for data-image generation (deterministic per workload+seed).
-pub fn rng(workload: &str, seed: u64) -> StdRng {
+pub fn rng(workload: &str, seed: u64) -> Prng {
     let mut h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     for b in workload.bytes() {
         h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
     }
-    StdRng::seed_from_u64(h)
+    Prng::seed_from_u64(h)
 }
 
 /// Builds a random-cycle pointer chain of `nodes` nodes of `node_bytes`
@@ -29,7 +28,7 @@ pub fn rng(workload: &str, seed: u64) -> StdRng {
 ///
 /// A single cycle through a random permutation gives the classic
 /// cache-hostile chase: successive hops are far apart and unpredictable.
-pub fn pointer_chain(a: &mut Asm, rng: &mut StdRng, nodes: u64, node_bytes: u64) -> u64 {
+pub fn pointer_chain(a: &mut Asm, rng: &mut Prng, nodes: u64, node_bytes: u64) -> u64 {
     assert!(node_bytes >= 8 && node_bytes % 8 == 0);
     // Sattolo's algorithm: a uniformly random single cycle.
     let mut perm: Vec<u64> = (0..nodes).collect();
@@ -71,13 +70,13 @@ pub fn xorshift(a: &mut Asm, state: Reg, tmp: Reg) {
 }
 
 /// Fills a reserved region with random 64-bit words; returns its base.
-pub fn random_words(a: &mut Asm, rng: &mut StdRng, count: u64) -> u64 {
+pub fn random_words(a: &mut Asm, rng: &mut Prng, count: u64) -> u64 {
     let words: Vec<u64> = (0..count).map(|_| rng.gen()).collect();
     a.data_u64(&words)
 }
 
 /// Fills a region with random bytes; returns its base.
-pub fn random_bytes(a: &mut Asm, rng: &mut StdRng, count: u64) -> u64 {
+pub fn random_bytes(a: &mut Asm, rng: &mut Prng, count: u64) -> u64 {
     let bytes: Vec<u8> = (0..count).map(|_| rng.gen()).collect();
     a.data_bytes(&bytes)
 }

@@ -204,8 +204,8 @@ pub fn stream_like(scale: Scale, seed: u64, slot: usize) -> Workload {
     };
     let mut r = rng("stream", seed);
     let mut a = slot_asm(slot);
-    let b: Vec<f64> = (0..elems).map(|_| rand::Rng::gen::<f64>(&mut r)).collect();
-    let c: Vec<f64> = (0..elems).map(|_| rand::Rng::gen::<f64>(&mut r)).collect();
+    let b: Vec<f64> = (0..elems).map(|_| r.gen::<f64>()).collect();
+    let c: Vec<f64> = (0..elems).map(|_| r.gen::<f64>()).collect();
     let b_base = a.data_f64(&b);
     let c_base = a.data_f64(&c);
     let a_base = a.reserve(elems * 8);
@@ -251,7 +251,7 @@ pub fn stencil_like(scale: Scale, seed: u64, slot: usize) -> Workload {
     };
     let mut r = rng("stencil", seed);
     let mut a = slot_asm(slot);
-    let grid: Vec<f64> = (0..nx * ny).map(|_| rand::Rng::gen::<f64>(&mut r)).collect();
+    let grid: Vec<f64> = (0..nx * ny).map(|_| r.gen::<f64>()).collect();
     let src = a.data_f64(&grid);
     let dst = a.reserve((nx * ny) as u64 * 8);
     let row_bytes = (nx * 8) as i64;
@@ -316,8 +316,8 @@ pub fn matmul_like(scale: Scale, seed: u64, slot: usize) -> Workload {
     };
     let mut r = rng("matmul", seed);
     let mut a = slot_asm(slot);
-    let ma: Vec<f64> = (0..n * n).map(|_| rand::Rng::gen::<f64>(&mut r)).collect();
-    let mb: Vec<f64> = (0..n * n).map(|_| rand::Rng::gen::<f64>(&mut r)).collect();
+    let ma: Vec<f64> = (0..n * n).map(|_| r.gen::<f64>()).collect();
+    let mb: Vec<f64> = (0..n * n).map(|_| r.gen::<f64>()).collect();
     let a_base = a.data_f64(&ma);
     let b_base = a.data_f64(&mb);
     let c_base = a.reserve((n * n) as u64 * 8);

@@ -1,17 +1,30 @@
 #!/usr/bin/env bash
-# Runs every experiment binary at full scale and collects the outputs under
-# results/ (tables as CSV via the binaries themselves, logs as .txt).
+# Runs the full experiment suite (E1-E12, A1-A4) through the sst-run
+# orchestrator: parallel across CPUs, served from results/cache/ on
+# repeat runs, with per-experiment CSV/JSON under results/ and a run
+# manifest at results/manifest.json.
+#
+# Environment:
+#   SST_EXPS="e4 a1 ..."   run a subset (default: all). Legacy binary
+#                          names (e4_vs_ooo, a3_confidence_gate) work too.
+#   SST_JOBS=N             worker threads (default: all cores)
+#   SST_SCALE=smoke|full   workload scale (default full)
+#   SST_SEED, SST_RESULTS, SST_MAX_CYCLES — see `sst-run --help`
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo build --release -p sst-bench
+cargo build --release -p sst-harness
 
 mkdir -p results/logs
-for exp in ${SST_EXPS:-e1_configs e2_workloads e3_speedup_vs_inorder e4_vs_ooo \
-           e5_latency_sweep e6_dq_sweep e7_ckpt_sweep e8_stb_sweep \
-           e9_area_proxy e10_cmp_throughput e11_mlp e12_failures \
-           a1_defer_threshold a2_bypass_window}; do
-    echo "== running $exp =="
-    ./target/release/$exp 2>&1 | tee "results/logs/$exp.txt"
-done
-echo "all experiments complete; see results/"
+jobs_flag=()
+[ -n "${SST_JOBS:-}" ] && jobs_flag=(--jobs "$SST_JOBS")
+
+if [ -n "${SST_EXPS:-}" ]; then
+    # Word-splitting of SST_EXPS into separate experiment tokens is the
+    # interface: SST_EXPS="e3 e4 a1".
+    # shellcheck disable=SC2086
+    ./target/release/sst-run $SST_EXPS "${jobs_flag[@]+"${jobs_flag[@]}"}" 2>&1 | tee results/logs/run.txt
+else
+    ./target/release/sst-run all "${jobs_flag[@]+"${jobs_flag[@]}"}" 2>&1 | tee results/logs/run.txt
+fi
+echo "all experiments complete; see results/ (manifest: results/manifest.json)"

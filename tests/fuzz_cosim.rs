@@ -4,15 +4,14 @@
 //! instruction-for-instruction. This hunts for speculation bugs that
 //! hand-written tests miss.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sst_isa::{Asm, Label, Program, Reg};
+use sst_prng::Prng;
 use sst_sim::{CoreModel, System};
 use sst_workloads::{Scale, Workload};
 
 /// Builds a random but always-terminating program.
 fn random_program(seed: u64) -> Program {
-    let mut r = StdRng::seed_from_u64(seed);
+    let mut r = Prng::seed_from_u64(seed);
     let mut a = Asm::new();
 
     // A small near buffer (aliasing traffic) and a big far region (misses).
@@ -65,11 +64,11 @@ fn random_program(seed: u64) -> Program {
             }
             3..=4 => {
                 // Near store + load (frequent aliasing, forwarding).
-                let off = r.gen_range(0..60) * 8;
+                let off = r.gen_range(0..60i64) * 8;
                 let src = Reg::x(r.gen_range(1..15));
                 let dst = Reg::x(r.gen_range(1..15));
                 if r.gen_bool(0.3) {
-                    a.sb(src, Reg::x(20), off + r.gen_range(0..8));
+                    a.sb(src, Reg::x(20), off + r.gen_range(0..8i64));
                 } else {
                     a.sd(src, Reg::x(20), off);
                 }
