@@ -1,6 +1,7 @@
 //! The SST pipeline model: ahead strand, deferred strand, epochs.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use sst_isa::{Inst, Program, Reg};
 use sst_mem::{AccessKind, Cycle, MemSystem};
@@ -25,6 +26,27 @@ struct Epoch {
     cause_ready: Cycle,
 }
 
+/// Why the ahead strand cannot use its slot-0 issue slot (the stall
+/// counter `tick` charges once per fully idle cycle), plus the classified
+/// wake cycle. Shared by [`Core::next_event_cycle`] and [`Core::skip_to`]
+/// so the two always agree.
+enum AheadStall {
+    /// Decode queue empty; refilled only by fetch.
+    Frontend,
+    /// `halt` at the head with speculation outstanding.
+    HaltWait,
+    /// Head's non-NT sources not timing-ready yet.
+    Operand,
+    /// Confidence gate holding back a shaky deferred branch.
+    LowConf,
+    /// Deferred queue full; drained only by replay.
+    DqFull,
+    /// Store buffer full; drained only by replay/commit.
+    StbFull,
+    /// The head could issue (or defer) this cycle — no skip is safe.
+    None,
+}
+
 enum ReplayOutcome {
     /// Entry executed and removed.
     Done,
@@ -35,6 +57,33 @@ enum ReplayOutcome {
     /// Memory port exhausted; stop replaying this cycle.
     PortFull,
 }
+
+/// A multiplicative hasher for sequence-number keys. The produced-value
+/// table is probed several times per examined DQ entry, every replay
+/// cycle; SipHash is measurable there, and sequence numbers need no
+/// DoS resistance (they are internal, dense, and monotonic).
+#[derive(Default)]
+struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci hashing: one multiply spreads dense keys across the
+        // high bits, which is where hashbrown takes its control bytes.
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type SeqMap<V> = HashMap<Seq, V, BuildHasherDefault<SeqHasher>>;
 
 /// The scout / execute-ahead / SST core.
 ///
@@ -51,7 +100,7 @@ pub struct SstCore {
     stb: StoreBuffer,
     /// Values produced by replayed deferred instructions, keyed by producer
     /// sequence: (value, ready cycle).
-    replay_vals: HashMap<Seq, (u64, Cycle)>,
+    replay_vals: SeqMap<(u64, Cycle)>,
     seq: Seq,
     cycle: Cycle,
     halted: bool,
@@ -67,9 +116,14 @@ pub struct SstCore {
     no_defer: bool,
     /// Cycle of the last observable progress (watchdog).
     last_progress: Cycle,
-    /// Debug ring buffer of recent replay decisions.
+    /// Debug ring buffer of recent replay decisions. Only populated when
+    /// `SST_TRACE` is set in the environment: the `format!` per decision
+    /// is measurable hot-loop overhead, and the ring is read solely by
+    /// [`SstCore::dump_debug`].
     #[doc(hidden)]
     pub trace: std::collections::VecDeque<String>,
+    /// Whether [`SstCore::tr`] records into `trace` (`SST_TRACE` set).
+    trace_on: bool,
     /// Statistics.
     pub stats: SstStats,
 }
@@ -87,7 +141,7 @@ impl SstCore {
             id,
             spec: RegImage::new(),
             epochs: VecDeque::new(),
-            replay_vals: HashMap::new(),
+            replay_vals: SeqMap::default(),
             seq: 0,
             cycle: 0,
             halted: false,
@@ -97,6 +151,7 @@ impl SstCore {
             no_defer: false,
             last_progress: 0,
             trace: std::collections::VecDeque::new(),
+            trace_on: std::env::var_os("SST_TRACE").is_some(),
             stats: SstStats::default(),
         }
     }
@@ -160,11 +215,16 @@ impl SstCore {
 
     // ---------------------------------------------------------------- helpers
 
-    fn tr(&mut self, msg: String) {
+    /// Records a replay-trace line, lazily: the message is only built
+    /// (and allocated) when `SST_TRACE` is set.
+    fn tr(&mut self, msg: impl FnOnce() -> String) {
+        if !self.trace_on {
+            return;
+        }
         if self.trace.len() > 120 {
             self.trace.pop_front();
         }
-        self.trace.push_back(msg);
+        self.trace.push_back(msg());
     }
 
     fn in_speculation(&self) -> bool {
@@ -374,82 +434,105 @@ impl SstCore {
         // Start a pass if none is active.
         let mut cursor = self.replay_cursor.unwrap_or_default();
 
+        // The DQ is seq-sorted, so the pass position is an index walked
+        // forward, located once per call by binary search — not a linear
+        // re-scan per examined entry (that made a full pass O(n^2) and
+        // dominated whole-simulation wall clock on deferred-heavy runs).
+        let mut idx = self.dq.as_slice().partition_point(|e| e.seq < cursor);
+
         // Executing an entry occupies an issue slot; skipping a not-ready
         // entry is free (a ready-bit scan), so a pass only pays for the
         // work it actually does plus short bypass stalls.
         let mut used = 0;
         while used < slots {
             // Next entry at or after the cursor within the epoch segment.
-            let Some(e) = self
-                .dq
-                .as_slice()
-                .iter()
-                .find(|e| e.seq >= cursor && e.seq <= bound)
-                .copied()
-            else {
-                // Pass complete: sleep until the earliest knowable enabling
-                // event of any remaining entry. Entries re-deferred early in
-                // a long pass may have become executable meanwhile, so the
-                // wake must consult each entry's own readiness time (not
-                // just future-dated arrivals).
-                self.tr(format!("t{now} pass-done cur={cursor} used={used}"));
-                self.replay_cursor = None;
-                let wake_data = self.dq.next_data_ready().unwrap_or(Cycle::MAX);
-                let wake_entries = self
-                    .dq
-                    .as_slice()
-                    .iter()
-                    .filter(|e| e.seq <= bound)
-                    .filter_map(|e| self.entry_ready_when(e))
-                    .map(|w| w.max(now + 1))
-                    .min()
-                    .unwrap_or(Cycle::MAX);
-                self.replay_check_at = wake_data.min(wake_entries);
-                return used;
+            // Examined by reference; the entry is only copied out (for the
+            // `&mut self` replay below) once it is known to be executable —
+            // a pass over a full DQ of waiting entries copies nothing.
+            enum Step {
+                PassDone,
+                Exec,
+                NotReady { seq: Seq, when: Option<Cycle> },
+            }
+            let step = match self.dq.as_slice().get(idx).filter(|e| e.seq <= bound) {
+                None => Step::PassDone,
+                Some(e) if self.entry_ready(e, now) => Step::Exec,
+                Some(e) => Step::NotReady {
+                    seq: e.seq,
+                    when: self.entry_ready_when(e),
+                },
             };
 
-            if self.entry_ready(&e, now) {
-                used += 1;
-                self.stats.replay_issued += 1;
-                self.tr(format!("t{now} exec {}", e.seq));
-                match self.replay_one(&e, now, mem, mem_ops) {
-                    ReplayOutcome::Done => {
-                        self.dq.remove_seq(e.seq);
-                        self.stats.replayed += 1;
-                        self.last_progress = now;
-                        cursor = e.seq + 1;
-                    }
-                    ReplayOutcome::Stuck => {
-                        // Re-deferred (missed again) or ordering: shuffle
-                        // past it.
-                        cursor = e.seq + 1;
-                    }
-                    ReplayOutcome::Fail => {
-                        let idx = self.epoch_of(e.seq);
-                        self.rollback_to(idx, now, false);
-                        return used;
-                    }
-                    ReplayOutcome::PortFull => break,
+            match step {
+                Step::PassDone => {
+                    // Pass complete: sleep until the earliest knowable
+                    // enabling event of any remaining entry. Entries
+                    // re-deferred early in a long pass may have become
+                    // executable meanwhile, so the wake must consult each
+                    // entry's own readiness time (not just future-dated
+                    // arrivals).
+                    self.tr(|| format!("t{now} pass-done cur={cursor} used={used}"));
+                    self.replay_cursor = None;
+                    let wake_data = self.dq.next_data_ready().unwrap_or(Cycle::MAX);
+                    let wake_entries = self
+                        .dq
+                        .as_slice()
+                        .iter()
+                        .filter(|e| e.seq <= bound)
+                        .filter_map(|e| self.entry_ready_when(e))
+                        .map(|w| w.max(now + 1))
+                        .min()
+                        .unwrap_or(Cycle::MAX);
+                    self.replay_check_at = wake_data.min(wake_entries);
+                    return used;
                 }
-            } else {
-                match self.entry_ready_when(&e) {
+                Step::Exec => {
+                    let e = self.dq.as_slice()[idx];
+                    used += 1;
+                    self.stats.replay_issued += 1;
+                    self.tr(|| format!("t{now} exec {}", e.seq));
+                    match self.replay_one(&e, now, mem, mem_ops) {
+                        ReplayOutcome::Done => {
+                            self.dq.remove_seq(e.seq);
+                            self.stats.replayed += 1;
+                            self.last_progress = now;
+                            cursor = e.seq + 1;
+                            // `idx` now points at the entry after the
+                            // removed one; leave it in place.
+                        }
+                        ReplayOutcome::Stuck => {
+                            // Re-deferred (missed again) or ordering:
+                            // shuffle past it.
+                            cursor = e.seq + 1;
+                            idx += 1;
+                        }
+                        ReplayOutcome::Fail => {
+                            let ep_idx = self.epoch_of(e.seq);
+                            self.rollback_to(ep_idx, now, false);
+                            return used;
+                        }
+                        ReplayOutcome::PortFull => break,
+                    }
+                }
+                Step::NotReady { seq, when } => match when {
                     Some(when) if when <= now + stall_window => {
                         // Inputs land imminently: the strand stalls here
                         // (bypass), occupying a slot.
-                        self.tr(format!("t{now} stall {} when", e.seq));
+                        self.tr(|| format!("t{now} stall {seq} when"));
                         used += 1;
                         break;
                     }
                     _ => {
                         // Inputs are far off: re-defer (the entry stays in
                         // place; the next pass re-examines it).
-                        cursor = e.seq + 1;
+                        cursor = seq + 1;
+                        idx += 1;
                     }
-                }
+                },
             }
         }
 
-        self.tr(format!("t{now} pause cur={cursor} used={used}"));
+        self.tr(|| format!("t{now} pause cur={cursor} used={used}"));
         self.replay_cursor = Some(cursor);
         self.replay_check_at = now + 1; // pass still in progress
         used
@@ -593,6 +676,57 @@ impl SstCore {
                 ReplayOutcome::Done
             }
         }
+    }
+
+    /// Mirrors the slot-0 decision tree of [`SstCore::ahead`] without side
+    /// effects: when would the ahead strand next act, and which stall
+    /// counter does each idle cycle charge meanwhile? `Cycle::MAX` wake
+    /// values are stalls released only by fetch, replay, commit, or
+    /// rollback — all covered by the other [`Core::next_event_cycle`]
+    /// terms.
+    fn ahead_wake(&self, now: Cycle) -> (Cycle, AheadStall) {
+        let Some(f) = self.frontend.peek() else {
+            return (Cycle::MAX, AheadStall::Frontend);
+        };
+        let inst = f.inst;
+        if inst == Inst::Halt {
+            return if self.in_speculation() {
+                (Cycle::MAX, AheadStall::HaltWait)
+            } else {
+                (now, AheadStall::None)
+            };
+        }
+        let sources = inst.sources();
+        let ready_needed = sources
+            .iter()
+            .flatten()
+            .filter(|r| !self.spec.is_nt(**r))
+            .map(|r| self.spec.ready_at(*r))
+            .max()
+            .unwrap_or(0);
+        if ready_needed > now {
+            return (ready_needed, AheadStall::Operand);
+        }
+        if self.spec.any_nt(sources) {
+            if self.cfg.confidence_gate
+                && self.cfg.retain_results
+                && inst.is_control()
+                && !f.pred_confident
+            {
+                return (Cycle::MAX, AheadStall::LowConf);
+            }
+            if self.dq.is_full() {
+                return (Cycle::MAX, AheadStall::DqFull);
+            }
+            if inst.is_store() && self.stb.is_full() {
+                return (Cycle::MAX, AheadStall::StbFull);
+            }
+            return (now, AheadStall::None);
+        }
+        if inst.is_store() && self.in_speculation() && self.stb.is_full() {
+            return (Cycle::MAX, AheadStall::StbFull);
+        }
+        (now, AheadStall::None)
     }
 
     // -------------------------------------------------------- speculation mgmt
@@ -1092,8 +1226,46 @@ impl Core for SstCore {
         self.halted
     }
 
-    fn drain_commits(&mut self) -> Vec<Commit> {
-        std::mem::take(&mut self.commits)
+    fn drain_commits_into(&mut self, out: &mut Vec<Commit>) {
+        out.append(&mut self.commits);
+    }
+
+    fn next_event_cycle(&self) -> Cycle {
+        let now = self.cycle;
+        if self.halted {
+            return Cycle::MAX;
+        }
+        let fetch = self.frontend.next_fetch_cycle(now);
+        // Deferred-strand / speculation-management wake: a scout episode
+        // rolls back when its originating miss returns; SST/EA epochs do
+        // replay work (and close/commit/rollback) at `replay_check_at`.
+        let spec = match self.epochs.front() {
+            Some(oldest) if !self.cfg.retain_results => oldest.cause_ready.max(now),
+            Some(_) => self.replay_check_at.max(now),
+            None => Cycle::MAX,
+        };
+        let ahead = self.ahead_wake(now).0.max(now);
+        // The wedge watchdog must still fire at the exact cycle it would
+        // in an unskipped run.
+        let watchdog = self.last_progress + 2_000_000;
+        fetch.min(spec).min(ahead).min(watchdog)
+    }
+
+    fn skip_to(&mut self, target: Cycle) {
+        let from = self.cycle;
+        debug_assert!(from < target && target <= self.next_event_cycle());
+        let n = target - from;
+        self.frontend.note_skipped(from, target);
+        match self.ahead_wake(from).1 {
+            AheadStall::Frontend => self.stats.stall_frontend += n,
+            AheadStall::HaltWait => self.stats.stall_halt_wait += n,
+            AheadStall::Operand => self.stats.stall_operand += n,
+            AheadStall::LowConf => self.stats.stall_lowconf += n,
+            AheadStall::DqFull => self.stats.stall_dq_full += n,
+            AheadStall::StbFull => self.stats.stall_stb_full += n,
+            AheadStall::None => debug_assert!(false, "skip_to with an issueable head"),
+        }
+        self.cycle = target;
     }
 
     fn core_id(&self) -> usize {

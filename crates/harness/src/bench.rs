@@ -1,0 +1,337 @@
+//! `sst-run bench`: the hot-loop throughput benchmark.
+//!
+//! Times a fixed matrix of single-core simulations (no co-simulation, no
+//! cache, one thread) and reports simulated **Minst/s** — millions of
+//! committed instructions per wall-clock second — per (model, workload)
+//! pair plus the geometric mean. The numbers measure the *simulator*,
+//! not the simulated machines: a regression here means `tick()` or the
+//! memory walk got slower, long before anyone notices on a full sweep.
+//!
+//! The result is written as JSON (default `BENCH_hotloop.json`, intended
+//! to live at the repo root) so CI can compare a fresh run against the
+//! committed baseline with `--check`:
+//!
+//! * fresh geomean < 90% of baseline → loud warning, exit 0 (soft gate —
+//!   shared CI runners are noisy);
+//! * fresh geomean < 75% of baseline → exit 1 (a real regression).
+
+use std::time::Instant;
+
+use crate::json::JVal;
+use sst_sim::{geomean, CoreModel, System};
+use sst_workloads::{Scale, Workload};
+
+/// Cycle budget per pair; bench pairs are small, this is wedge insurance.
+const BENCH_MAX_CYCLES: u64 = 2_000_000_000;
+
+/// The default matrix: every pipeline family the study compares, over a
+/// compute-bound, a memory-bound, and a commercial-style workload.
+const DEFAULT_MODELS: &[&str] = &["io", "scout", "ea", "sst", "o128"];
+const DEFAULT_WORKLOADS: &[&str] = &["gzip", "erp", "oltp"];
+
+/// Ratio thresholds for `--check` (fresh / baseline geomean).
+const WARN_BELOW: f64 = 0.90;
+const FAIL_BELOW: f64 = 0.75;
+
+struct PairResult {
+    model: String,
+    workload: String,
+    insts: u64,
+    cycles: u64,
+    wall_ms: f64,
+    minst_per_s: f64,
+}
+
+fn parse_model(tok: &str) -> Option<CoreModel> {
+    Some(match tok {
+        "io" | "in-order" | "inorder" => CoreModel::InOrder,
+        "scout" => CoreModel::Scout,
+        "ea" | "execute-ahead" => CoreModel::ExecuteAhead,
+        "sst" => CoreModel::Sst,
+        "o32" | "ooo-32" => CoreModel::Ooo32,
+        "o64" | "ooo-64" => CoreModel::Ooo64,
+        "o128" | "ooo-128" => CoreModel::Ooo128,
+        _ => return None,
+    })
+}
+
+/// Options parsed from `sst-run bench ...` arguments.
+struct BenchOpts {
+    scale: Scale,
+    seed: u64,
+    models: Vec<String>,
+    workloads: Vec<String>,
+    out: String,
+    check: bool,
+    fast_forward: bool,
+}
+
+impl BenchOpts {
+    fn defaults() -> BenchOpts {
+        BenchOpts {
+            scale: Scale::Smoke,
+            seed: 12345,
+            models: DEFAULT_MODELS.iter().map(|s| s.to_string()).collect(),
+            workloads: DEFAULT_WORKLOADS.iter().map(|s| s.to_string()).collect(),
+            out: "BENCH_hotloop.json".to_string(),
+            check: false,
+            fast_forward: true,
+        }
+    }
+}
+
+const BENCH_USAGE: &str = "\
+usage: sst-run bench [options]
+
+Times the simulation hot loop (single thread, cosim off) and reports
+simulated Minst/s per (model, workload) pair plus the geometric mean.
+
+options:
+  --out PATH         where to write the JSON report
+                     (default: BENCH_hotloop.json)
+  --check            compare against the existing report at --out PATH:
+                     warn below 90% of its geomean, fail below 75%
+  --scale S          smoke|full (default smoke)
+  --seed N           workload seed (default 12345)
+  --models a,b,..    io scout ea sst o32 o64 o128 (default io,scout,ea,sst,o128)
+  --workloads a,b,.. any study workload (default gzip,erp,oltp)
+  --no-fast-forward  tick every cycle (measures the unskipped loop)
+  --help             this text";
+
+/// Entry point for `sst-run bench <args>`. Returns the process exit code.
+pub fn bench_main<I: Iterator<Item = String>>(mut args: I) -> i32 {
+    let mut o = BenchOpts::defaults();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{BENCH_USAGE}");
+                return 0;
+            }
+            "--check" => o.check = true,
+            "--no-fast-forward" => o.fast_forward = false,
+            "--out" => match args.next() {
+                Some(p) => o.out = p,
+                None => return bench_arg_err("--out needs a path"),
+            },
+            "--scale" => match args.next().as_deref() {
+                Some("smoke") => o.scale = Scale::Smoke,
+                Some("full") => o.scale = Scale::Full,
+                _ => return bench_arg_err("--scale needs smoke|full"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => o.seed = n,
+                None => return bench_arg_err("--seed needs a u64"),
+            },
+            "--models" => match args.next() {
+                Some(v) => o.models = v.split(',').map(|s| s.to_string()).collect(),
+                None => return bench_arg_err("--models needs a list"),
+            },
+            "--workloads" => match args.next() {
+                Some(v) => o.workloads = v.split(',').map(|s| s.to_string()).collect(),
+                None => return bench_arg_err("--workloads needs a list"),
+            },
+            other => return bench_arg_err(&format!("unknown option {other:?}")),
+        }
+    }
+    run_bench(&o)
+}
+
+fn bench_arg_err(msg: &str) -> i32 {
+    eprintln!("sst-run bench: {msg}\n\n{BENCH_USAGE}");
+    2
+}
+
+fn run_bench(o: &BenchOpts) -> i32 {
+    let mut models = Vec::new();
+    for tok in &o.models {
+        match parse_model(tok) {
+            Some(m) => models.push(m),
+            None => return bench_arg_err(&format!("unknown model {tok:?}")),
+        }
+    }
+
+    // Read the baseline geomean *before* running, so `--check` against
+    // the file we are about to overwrite still compares old vs new.
+    let baseline = if o.check {
+        match read_baseline_geomean(&o.out) {
+            Some(g) => Some(g),
+            None => {
+                eprintln!(
+                    "sst-run bench: --check: no readable baseline at {} — treating as first run",
+                    o.out
+                );
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    println!(
+        "sst-run bench: {} pair(s), scale={}, seed={}, fast-forward {}",
+        models.len() * o.workloads.len(),
+        match o.scale {
+            Scale::Smoke => "smoke",
+            Scale::Full => "full",
+        },
+        o.seed,
+        if o.fast_forward { "on" } else { "off" },
+    );
+
+    let mut pairs: Vec<PairResult> = Vec::new();
+    for model in &models {
+        for wname in &o.workloads {
+            let Some(w) = Workload::by_name(wname, o.scale, o.seed) else {
+                return bench_arg_err(&format!("unknown workload {wname:?}"));
+            };
+            let label = model.label();
+            let mut sys = System::new(model.clone(), &w).without_cosim();
+            if !o.fast_forward {
+                sys = sys.without_fast_forward();
+            }
+            let started = Instant::now();
+            let r = match sys.run_checked(BENCH_MAX_CYCLES) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("sst-run bench: {label}/{wname}: {e}");
+                    return 1;
+                }
+            };
+            let wall = started.elapsed().as_secs_f64();
+            let minst_per_s = r.insts as f64 / 1e6 / wall.max(1e-9);
+            println!(
+                "  {label:<8} {wname:<8} {:>9} insts {:>10} cycles {:>8.1} ms {:>8.2} Minst/s",
+                r.insts,
+                r.cycles,
+                wall * 1e3,
+                minst_per_s,
+            );
+            pairs.push(PairResult {
+                model: label,
+                workload: wname.clone(),
+                insts: r.insts,
+                cycles: r.cycles,
+                wall_ms: wall * 1e3,
+                minst_per_s,
+            });
+        }
+    }
+
+    let g = geomean(&pairs.iter().map(|p| p.minst_per_s).collect::<Vec<_>>());
+    println!("geomean: {g:.2} Minst/s");
+
+    if let Err(e) = std::fs::write(&o.out, render_report(o, &pairs, g)) {
+        eprintln!("sst-run bench: cannot write {}: {e}", o.out);
+        return 1;
+    }
+    println!("(report written to {})", o.out);
+
+    if let Some(base) = baseline {
+        let ratio = g / base.max(1e-12);
+        println!(
+            "check: fresh {g:.2} vs baseline {base:.2} Minst/s ({:+.1}%)",
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < FAIL_BELOW {
+            eprintln!(
+                "sst-run bench: FAIL — hot loop is {:.0}% of baseline (< {:.0}%)",
+                ratio * 100.0,
+                FAIL_BELOW * 100.0
+            );
+            return 1;
+        }
+        if ratio < WARN_BELOW {
+            eprintln!(
+                "sst-run bench: WARNING — hot loop is {:.0}% of baseline (< {:.0}%); \
+                 investigate before merging",
+                ratio * 100.0,
+                WARN_BELOW * 100.0
+            );
+        }
+    }
+    0
+}
+
+fn render_report(o: &BenchOpts, pairs: &[PairResult], g: f64) -> String {
+    let doc = JVal::obj([
+        ("version", JVal::str(env!("CARGO_PKG_VERSION"))),
+        (
+            "scale",
+            JVal::str(match o.scale {
+                Scale::Smoke => "smoke",
+                Scale::Full => "full",
+            }),
+        ),
+        ("seed", JVal::Int(o.seed)),
+        ("fast_forward", JVal::Bool(o.fast_forward)),
+        (
+            "pairs",
+            JVal::Arr(
+                pairs
+                    .iter()
+                    .map(|p| {
+                        JVal::obj([
+                            ("model", JVal::str(&p.model)),
+                            ("workload", JVal::str(&p.workload)),
+                            ("insts", JVal::Int(p.insts)),
+                            ("cycles", JVal::Int(p.cycles)),
+                            ("wall_ms", JVal::Num(p.wall_ms)),
+                            ("minst_per_s", JVal::Num(p.minst_per_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("geomean_minst_per_s", JVal::Num(g)),
+    ]);
+    doc.render_pretty()
+}
+
+/// Extracts `geomean_minst_per_s` from a previous report. A string scan,
+/// not a parser: the file is machine-written by `render_report`, and the
+/// harness intentionally has no JSON reader.
+fn read_baseline_geomean(path: &str) -> Option<f64> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let tail = body.split("\"geomean_minst_per_s\"").nth(1)?;
+    let val = tail.split(':').nth(1)?;
+    val.trim().trim_end_matches(['}', ',', '\n', ' ']).parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tokens_parse() {
+        for t in ["io", "scout", "ea", "sst", "o32", "o64", "o128"] {
+            assert!(parse_model(t).is_some(), "{t}");
+        }
+        assert!(parse_model("warp-drive").is_none());
+    }
+
+    #[test]
+    fn baseline_scan_reads_what_render_writes() {
+        let o = BenchOpts::defaults();
+        let pairs = vec![PairResult {
+            model: "sst".into(),
+            workload: "gzip".into(),
+            insts: 1_000_000,
+            cycles: 2_000_000,
+            wall_ms: 250.0,
+            minst_per_s: 4.0,
+        }];
+        let body = render_report(&o, &pairs, 4.0);
+        let dir = std::env::temp_dir().join(format!("sst-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_hotloop.json");
+        std::fs::write(&path, body).unwrap();
+        let g = read_baseline_geomean(path.to_str().unwrap()).expect("scan");
+        assert!((g - 4.0).abs() < 1e-9, "{g}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_baseline_is_none() {
+        assert_eq!(read_baseline_geomean("/no/such/file.json"), None);
+    }
+}

@@ -44,6 +44,52 @@ pub fn load(out_dir: &Path, hash: u64, key: &str) -> Option<JobOutput> {
     deserialize(&body, key)
 }
 
+/// Percent-escapes the characters that are structural in the `.kv`
+/// format: `%` itself, the `,` pair separator, the `:` name/value
+/// separator, and line breaks. Counter names are model-defined strings;
+/// without this, a name containing any of those silently corrupts the
+/// record (at best a cache miss, at worst a wrong value parsed under a
+/// truncated name).
+fn escape(name: &str) -> String {
+    let mut s = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '%' => s.push_str("%25"),
+            ',' => s.push_str("%2C"),
+            ':' => s.push_str("%3A"),
+            '\n' => s.push_str("%0A"),
+            '\r' => s.push_str("%0D"),
+            _ => s.push(c),
+        }
+    }
+    s
+}
+
+fn unescape(name: &str) -> String {
+    let mut s = String::with_capacity(name.len());
+    let mut rest = name;
+    while let Some(pos) = rest.find('%') {
+        s.push_str(&rest[..pos]);
+        let code = rest.get(pos + 1..pos + 3);
+        match code {
+            Some("25") => s.push('%'),
+            Some("2C") => s.push(','),
+            Some("3A") => s.push(':'),
+            Some("0A") => s.push('\n'),
+            Some("0D") => s.push('\r'),
+            _ => s.push('%'),
+        }
+        let consumed = if matches!(code, Some("25" | "2C" | "3A" | "0A" | "0D")) {
+            3
+        } else {
+            1
+        };
+        rest = &rest[pos + consumed..];
+    }
+    s.push_str(rest);
+    s
+}
+
 fn serialize(key: &str, out: &JobOutput) -> String {
     let mut s = String::new();
     s.push_str(&format!("key={key}\n"));
@@ -68,7 +114,7 @@ fn serialize(key: &str, out: &JobOutput) -> String {
                 "counters={}\n",
                 r.counters
                     .iter()
-                    .map(|(n, v)| format!("{n}:{v}"))
+                    .map(|(n, v)| format!("{}:{v}", escape(n)))
                     .collect::<Vec<_>>()
                     .join(",")
             ));
@@ -152,7 +198,7 @@ impl<'a> Fields<'a> {
         raw.split(',')
             .map(|t| {
                 let (n, v) = t.split_once(':')?;
-                Some((n.to_string(), v.parse().ok()?))
+                Some((unescape(n), v.parse().ok()?))
             })
             .collect()
     }
@@ -276,6 +322,46 @@ mod tests {
         assert_eq!(b.mem.l2, r.mem.l2);
         assert_eq!(b.mem.dram_reads, r.mem.dram_reads);
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hostile_counter_names_round_trip() {
+        // Names carrying every structural character of the .kv format —
+        // separators, line breaks, the escape character itself, and a
+        // literal "%2C" that must NOT collapse to "," after one decode.
+        let mut r = some_run();
+        r.counters = vec![
+            ("plain".to_string(), 1),
+            ("with,comma".to_string(), 2),
+            ("with:colon".to_string(), 3),
+            ("multi\nline\rname".to_string(), 4),
+            ("percent%sign".to_string(), 5),
+            ("pre-escaped%2Cname".to_string(), 6),
+            ("%25,:".to_string(), 7),
+            ("trailing%".to_string(), 8),
+        ];
+        let expected = r.counters.clone();
+        let out = JobOutput::Run(r);
+        let dir = tmp_dir("hostile");
+        store(&dir, 77, "hostile-key", &out).unwrap();
+        let back = load(&dir, 77, "hostile-key").expect("hit");
+        assert_eq!(back.run().counters, expected);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn escape_round_trip_and_lenient_decode() {
+        for s in ["", "plain", "%", "%%", "%2", "%2C", "a,b:c\nd\re%f", "%zz"] {
+            assert_eq!(unescape(&escape(s)), s, "round-trip of {s:?}");
+        }
+        // Escaped text never contains structural characters.
+        for s in ["a,b", "x:y", "p%q", "n\nl"] {
+            let e = escape(s);
+            assert!(!e.contains([',', ':', '\n', '\r']), "{e:?}");
+        }
+        // Decoding tolerates stray escapes it did not produce.
+        assert_eq!(unescape("%zz"), "%zz");
+        assert_eq!(unescape("tail%"), "tail%");
     }
 
     #[test]

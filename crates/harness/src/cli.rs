@@ -23,6 +23,10 @@ experiments:
   a1 .. a4       the ablations
   (legacy binary names like e4_vs_ooo are accepted)
 
+subcommands:
+  bench          time the simulation hot loop and report Minst/s
+                 (see `sst-run bench --help`)
+
 options:
   --jobs N       worker threads (default: available parallelism)
   --no-cache     ignore and do not populate results/cache/
@@ -43,7 +47,11 @@ pub fn cli_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
     let mut cfg = RunConfig::from_os();
     let mut tokens: Vec<String> = Vec::new();
     let mut want_all = false;
-    let mut args = args.into_iter();
+    let mut args = args.into_iter().peekable();
+    if args.peek().map(String::as_str) == Some("bench") {
+        args.next();
+        return crate::bench::bench_main(args);
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             "--help" | "-h" => {

@@ -31,6 +31,7 @@ pub fn all() -> Vec<Experiment> {
         ablations::a3(),
         ablations::a4(),
         xfail(),
+        xfold(),
     ]
 }
 
@@ -66,6 +67,26 @@ fn xfail() -> Experiment {
         id: "xfail",
         title: "fault-injection check (always fails by design)",
         paper_note: "harness self-test: the panicking job lands in the manifest, the rest proceed",
+        hidden: true,
+        jobs,
+        fold,
+    }
+}
+
+/// A deliberately failing experiment whose *jobs* all succeed but whose
+/// *fold* panics — exercising the scheduler's fold isolation. Hidden
+/// from `sst-run all`; addressable as `sst-run xfold`.
+fn xfold() -> Experiment {
+    fn jobs(_env: &Env) -> Vec<JobSpec> {
+        vec![JobSpec::single("ok/gzip", sst_sim::CoreModel::InOrder, "gzip")]
+    }
+    fn fold(_env: &Env, _ctx: &RunCtx) -> Fold {
+        panic!("injected failure (xfold experiment)");
+    }
+    Experiment {
+        id: "xfold",
+        title: "fold fault-injection check (always fails by design)",
+        paper_note: "harness self-test: a panicking fold is recorded and cannot look clean",
         hidden: true,
         jobs,
         fold,

@@ -53,6 +53,56 @@ impl RunConfig {
     }
 }
 
+/// Process-wide state for [`SilentPanicGuard`]: how many scheduler runs
+/// currently want the hook silenced, and the hook that was installed when
+/// the first of them arrived.
+struct SilenceState {
+    depth: usize,
+    saved: Option<Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync>>,
+}
+
+static SILENCE: Mutex<SilenceState> = Mutex::new(SilenceState {
+    depth: 0,
+    saved: None,
+});
+
+/// RAII silencer for the global panic hook.
+///
+/// The panic hook is process-global, but `run` may execute concurrently
+/// (the test suite does exactly that). A bare `take_hook`/`set_hook` pair
+/// races: two overlapping runs can save each other's no-op hook and the
+/// original hook is lost forever, or the second restore resurrects
+/// backtrace spew while jobs are still being caught. Instead, a
+/// process-wide refcount installs the no-op hook when the first guard
+/// appears and restores the original only when the last guard drops —
+/// and drop-on-unwind means the hook is restored even if the scheduler
+/// itself panics.
+struct SilentPanicGuard;
+
+impl SilentPanicGuard {
+    fn install() -> SilentPanicGuard {
+        let mut st = SILENCE.lock().unwrap();
+        if st.depth == 0 {
+            st.saved = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        st.depth += 1;
+        SilentPanicGuard
+    }
+}
+
+impl Drop for SilentPanicGuard {
+    fn drop(&mut self) {
+        let mut st = SILENCE.lock().unwrap();
+        st.depth -= 1;
+        if st.depth == 0 {
+            if let Some(hook) = st.saved.take() {
+                std::panic::set_hook(hook);
+            }
+        }
+    }
+}
+
 /// A structured record of one failed job.
 #[derive(Clone, Debug)]
 pub struct FailureRecord {
@@ -96,9 +146,13 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
-    /// `true` when every job succeeded and every fold ran.
+    /// `true` when every job succeeded and every fold ran to completion.
+    ///
+    /// Checking `folded` as well as `failures` means a fold that panicked
+    /// — or was skipped because its inputs never materialised — can never
+    /// masquerade as a clean run.
     pub fn clean(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.records.iter().all(|r| r.folded)
     }
 }
 
@@ -157,10 +211,10 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
     let mut failures: Vec<FailureRecord> = Vec::new();
     let mut cache_hits = 0usize;
 
-    // Job panics are caught and recorded; silence the default hook's
-    // backtrace spew for the duration of the pool.
-    let saved_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
+    // Job and fold panics are caught and recorded; silence the default
+    // hook's backtrace spew for the duration of the run (pool and fold
+    // phase). The guard refcounts so concurrent runs compose.
+    let _silence = SilentPanicGuard::install();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -261,7 +315,6 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
             }
         }
     });
-    std::panic::set_hook(saved_hook);
 
     // Fold phase: strictly in declaration order, on this thread.
     for (ei, exp) in experiments.iter().enumerate() {
@@ -282,7 +335,26 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
             .map(|(spec, slot)| (spec.name.clone(), slot.take().expect("complete")))
             .collect();
         let ctx = RunCtx::new(&by_name);
-        let fold = (exp.fold)(&env, &ctx);
+        // A fold that panics (a missing counter, a bad unwrap while
+        // shaping a table) must not take down the remaining experiments
+        // or masquerade as a clean run: catch it, record it, and leave
+        // `folded` false so `RunSummary::clean()` reports the truth.
+        let fold = match catch_unwind(AssertUnwindSafe(|| (exp.fold)(&env, &ctx))) {
+            Ok(fold) => fold,
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                if !cfg.quiet {
+                    println!("\n{}: fold panicked ({message})", exp.id);
+                }
+                failures.push(FailureRecord {
+                    experiment: exp.id.to_string(),
+                    job: "(fold)".to_string(),
+                    kind: "fold-panic".to_string(),
+                    message,
+                });
+                continue;
+            }
+        };
 
         if !cfg.quiet {
             banner(exp, &env);

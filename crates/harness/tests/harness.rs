@@ -167,6 +167,29 @@ fn injected_panic_is_isolated_and_recorded() {
 }
 
 #[test]
+fn fold_panic_is_recorded_and_cannot_look_clean() {
+    // All of xfold's jobs succeed; its fold panics. The run must complete,
+    // record a structured "fold-panic" failure, and report unclean.
+    let out = tmp_out("xfold");
+    let exps = vec![registry::find("xfold").unwrap(), registry::find("e1").unwrap()];
+    let summary = sched::run(&exps, &cfg(&out, 2, false));
+
+    assert!(!summary.clean(), "a panicking fold must not look clean");
+    assert_eq!(summary.failures.len(), 1);
+    let f = &summary.failures[0];
+    assert_eq!((f.experiment.as_str(), f.job.as_str()), ("xfold", "(fold)"));
+    assert_eq!(f.kind, "fold-panic");
+    assert!(f.message.contains("injected failure"), "{}", f.message);
+
+    // The sibling experiment still folded and wrote its tables.
+    assert!(out.join("results/e1_configs.csv").exists());
+    let manifest = fs::read_to_string(out.join("results/manifest.json")).unwrap();
+    assert!(manifest.contains("\"kind\": \"fold-panic\""));
+
+    fs::remove_dir_all(&out).ok();
+}
+
+#[test]
 fn disjoint_experiments_fold_independently_of_failures_elsewhere() {
     // xfail fails; e1 (config tables, no simulation) still folds.
     let out = tmp_out("mixed");

@@ -1,0 +1,79 @@
+//! The scheduler silences the process-global panic hook while jobs run
+//! (panicking jobs are expected and already reported as structured
+//! failures). This file checks the guard composes: concurrent runs must
+//! not clobber each other's restore, and a user-installed hook must be
+//! back in place afterwards.
+//!
+//! Kept as its own integration-test binary (own process): the panic hook
+//! is process-global state, and the scheduler tests in `harness.rs` also
+//! swap it.
+
+use std::fs;
+use std::panic;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sst_harness::sched::{self, RunConfig};
+use sst_harness::{registry, Env};
+use sst_workloads::Scale;
+
+static CUSTOM_HOOK_HITS: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_out(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("sst-hook-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn cfg(out: &Path) -> RunConfig {
+    RunConfig {
+        jobs: 2,
+        use_cache: false,
+        out_dir: out.to_path_buf(),
+        env: Env {
+            scale: Scale::Smoke,
+            seed: 7,
+            max_cycles: 100_000_000,
+        },
+        quiet: true,
+    }
+}
+
+#[test]
+fn custom_hook_survives_two_concurrent_scheduler_runs() {
+    // A user hook installed before any scheduler activity...
+    panic::set_hook(Box::new(|_| {
+        CUSTOM_HOOK_HITS.fetch_add(1, Ordering::SeqCst);
+    }));
+
+    // ...must survive two overlapping runs, each of which silences the
+    // hook for its own panicking job and restores on the way out. With a
+    // naive save/restore (instead of the refcounted guard) the second
+    // run's restore would reinstall the *silencer* saved by the first.
+    let out_a = tmp_out("a");
+    let out_b = tmp_out("b");
+    let (sa, sb) = std::thread::scope(|s| {
+        let a = s.spawn(|| sched::run(&[registry::find("xfail").unwrap()], &cfg(&out_a)));
+        let b = s.spawn(|| sched::run(&[registry::find("xfail").unwrap()], &cfg(&out_b)));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    for s in [&sa, &sb] {
+        assert!(!s.clean());
+        assert_eq!(s.failures.len(), 1);
+        assert_eq!(s.failures[0].kind, "panic");
+    }
+
+    // The custom hook is back: a caught panic now fires it.
+    let before = CUSTOM_HOOK_HITS.load(Ordering::SeqCst);
+    let _ = panic::catch_unwind(|| panic!("probe"));
+    assert_eq!(
+        CUSTOM_HOOK_HITS.load(Ordering::SeqCst),
+        before + 1,
+        "the user-installed panic hook was not restored after the runs"
+    );
+
+    let _ = panic::take_hook(); // leave the default hook for the harness
+    fs::remove_dir_all(&out_a).ok();
+    fs::remove_dir_all(&out_b).ok();
+}

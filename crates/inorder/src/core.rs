@@ -229,8 +229,39 @@ impl Core for InOrderCore {
         self.halted
     }
 
-    fn drain_commits(&mut self) -> Vec<Commit> {
-        std::mem::take(&mut self.commits)
+    fn drain_commits_into(&mut self, out: &mut Vec<Commit>) {
+        out.append(&mut self.commits);
+    }
+
+    fn next_event_cycle(&self) -> Cycle {
+        let now = self.cycle;
+        if self.halted {
+            return Cycle::MAX;
+        }
+        let fetch = self.frontend.next_fetch_cycle(now);
+        let issue = match self.frontend.peek() {
+            // An empty queue is refilled only by fetch, which `fetch`
+            // already covers.
+            None => Cycle::MAX,
+            Some(f) => self.regs.ready_after(f.inst.sources()).max(now),
+        };
+        fetch.min(issue)
+    }
+
+    fn skip_to(&mut self, target: Cycle) {
+        let from = self.cycle;
+        debug_assert!(from < target && target <= self.next_event_cycle());
+        let n = target - from;
+        self.frontend.note_skipped(from, target);
+        // Nothing fetches or issues inside the window, so one stall reason
+        // holds for every skipped cycle — the same slot-0 bookkeeping
+        // `tick` would have done.
+        if self.frontend.peek().is_none() {
+            self.stats.stall_frontend += n;
+        } else {
+            self.stats.stall_operand += n;
+        }
+        self.cycle = target;
     }
 
     fn core_id(&self) -> usize {

@@ -1,8 +1,34 @@
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Page-number hasher: a single Fibonacci multiply. Page numbers are
+/// small dense integers and every simulated load, store, and fetch
+/// funnels through the page map, so the default SipHash showed up as a
+/// top entry in the simulation profile.
+#[derive(Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageHasher>>;
 
 /// A sparse, byte-addressable 64-bit memory image.
 ///
@@ -16,7 +42,7 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// multi-byte values are little-endian.
 #[derive(Clone, Default)]
 pub struct SparseMem {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
 }
 
 impl SparseMem {
@@ -54,6 +80,19 @@ impl SparseMem {
     /// Panics if `n > 8`.
     pub fn read_le(&self, addr: u64, n: u64) -> u64 {
         assert!(n <= 8, "at most 8 bytes per access");
+        let off = (addr & PAGE_MASK) as usize;
+        if off + n as usize <= PAGE_SIZE {
+            // Within one page: a single map lookup for the whole access
+            // (the overwhelmingly common case).
+            let Some(p) = self.pages.get(&(addr >> PAGE_SHIFT)) else {
+                return 0;
+            };
+            let mut v = 0u64;
+            for (i, &b) in p[off..off + n as usize].iter().enumerate() {
+                v |= (b as u64) << (8 * i);
+            }
+            return v;
+        }
         let mut v = 0u64;
         for i in 0..n {
             v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
@@ -68,6 +107,17 @@ impl SparseMem {
     /// Panics if `n > 8`.
     pub fn write_le(&mut self, addr: u64, n: u64, val: u64) {
         assert!(n <= 8, "at most 8 bytes per access");
+        let off = (addr & PAGE_MASK) as usize;
+        if off + n as usize <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            for (i, b) in page[off..off + n as usize].iter_mut().enumerate() {
+                *b = (val >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..n {
             self.write_u8(addr.wrapping_add(i), (val >> (8 * i)) as u8);
         }
@@ -95,15 +145,34 @@ impl SparseMem {
 
     /// Copies a byte slice into memory starting at `addr`.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u64), b);
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = rest.len().min(PAGE_SIZE - off);
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + n].copy_from_slice(&rest[..n]);
+            addr = addr.wrapping_add(n as u64);
+            rest = &rest[n..];
         }
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.read_u8(addr.wrapping_add(i as u64));
+        let mut addr = addr;
+        let mut rest = &mut buf[..];
+        while !rest.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = rest.len().min(PAGE_SIZE - off);
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => rest[..n].copy_from_slice(&p[off..off + n]),
+                None => rest[..n].fill(0),
+            }
+            addr = addr.wrapping_add(n as u64);
+            rest = &mut rest[n..];
         }
     }
 }

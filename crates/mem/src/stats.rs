@@ -37,7 +37,7 @@ impl CacheStats {
 }
 
 /// Aggregate statistics for a [`crate::MemSystem`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Per-core L1I stats.
     pub l1i: Vec<CacheStats>,

@@ -82,6 +82,9 @@ pub struct MemSystem {
     l2_mshr: MshrFile,
     l2_port_free_at: Cycle,
     dram: Dram,
+    /// Blocks brought in by a prefetch and still resident in an L1D.
+    /// Cleared on eviction, so the set is bounded by L1D capacity and a
+    /// long-evicted prefetch is never credited as useful.
     prefetched: HashSet<u64>,
     stats: MemStats,
 }
@@ -289,6 +292,12 @@ impl MemSystem {
             };
             let evicted = l1.fill(addr, write);
             if let Some(ev) = evicted {
+                if !is_fetch {
+                    // A prefetched line leaving the L1D loses its tag: a
+                    // later demand to it is no longer a useful prefetch,
+                    // and the set stays bounded by the cache's capacity.
+                    self.prefetched.remove(&ev.addr);
+                }
                 if ev.dirty {
                     let s = if is_fetch {
                         &mut self.stats.l1i[core]
@@ -381,6 +390,7 @@ impl MemSystem {
         let (ready_at, level) = self.l2_walk(slot, false, block);
         let evicted = self.cores[core].l1d.fill(block, false);
         if let Some(ev) = evicted {
+            self.prefetched.remove(&ev.addr);
             if ev.dirty {
                 self.stats.l1d[core].writebacks += 1;
                 if let Some(l2_ev) = self.l2.fill(ev.addr, true) {
@@ -564,6 +574,31 @@ mod tests {
         assert!(o2.ready_at > 2110 + ms.config().l1_latency);
         assert!(o2.ready_at < 2110 + ms.config().mem_round_trip());
         let _ = p2;
+    }
+
+    #[test]
+    fn evicted_prefetch_is_not_counted_useful() {
+        let mut ms = sys();
+        let p = ms.access(0, 0, AccessKind::Prefetch, 0xd000);
+        let mut t = p.ready_at.max(2000);
+        // Conflict-evict the prefetched line: demand-load `ways` other
+        // lines mapping to the same set.
+        let sets = ms.config().l1d.sets() as u64;
+        let stride = sets * ms.config().l1d.line_bytes;
+        for i in 1..=ms.config().l1d.ways as u64 {
+            let o = ms.access(t, 0, AccessKind::Load, 0xd000 + i * stride);
+            t = o.ready_at + 1;
+        }
+        // The prefetched line is gone from L1D; demanding it now must not
+        // credit the long-dead prefetch.
+        let o = ms.access(t, 0, AccessKind::Load, 0xd000);
+        assert_ne!(o.level, HitLevel::L1, "line was evicted");
+        assert_eq!(ms.stats().useful_prefetches, 0);
+        // And after the re-fetch, a hit still earns no credit (the line is
+        // demand-resident now, not prefetch-resident).
+        let o2 = ms.access(o.ready_at + 1, 0, AccessKind::Load, 0xd000);
+        assert_eq!(o2.level, HitLevel::L1);
+        assert_eq!(ms.stats().useful_prefetches, 0);
     }
 
     #[test]

@@ -119,6 +119,29 @@ pub struct OooStats {
     pub rob_high_water: usize,
 }
 
+/// Instructions the wrong-path phantom walk may consume per blocked
+/// branch (see [`OooCore::phantom_walk`]).
+const PHANTOM_LIMIT: usize = 64;
+
+/// Why rename cannot accept an instruction this cycle — the stall counter
+/// `tick` charges once per idle cycle. Shared by `next_event_cycle` and
+/// `skip_to` so the two always agree.
+enum RenameStall {
+    /// Waiting for a mispredicted branch to resolve (with the phantom
+    /// walk inert).
+    BranchResolve,
+    /// Decode queue empty.
+    Frontend,
+    /// Reorder buffer full.
+    RobFull,
+    /// Issue queue full.
+    IqFull,
+    /// Load or store queue full.
+    LsqFull,
+    /// Rename could act this cycle — no skip is safe.
+    None,
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum EntryState {
     /// Waiting in the issue queue for its sources.
@@ -166,6 +189,13 @@ pub struct OooCore {
     phys_ready: Vec<Cycle>,
     free: Vec<usize>,
     rob: VecDeque<RobEntry>,
+    /// Window-occupancy counts, maintained incrementally at rename /
+    /// issue / commit / squash. `rename` consults all three once per
+    /// slot; re-deriving them by scanning the window each time dominated
+    /// the tick cost on the 128-entry configs.
+    n_waiting: usize,
+    n_loads: usize,
+    n_stores: usize,
     seq: Seq,
     cycle: Cycle,
     halted: bool,
@@ -200,6 +230,9 @@ impl OooCore {
             phys_ready: vec![0; phys_count],
             free,
             rob: VecDeque::new(),
+            n_waiting: 0,
+            n_loads: 0,
+            n_stores: 0,
             seq: 0,
             cycle: 0,
             halted: false,
@@ -221,25 +254,25 @@ impl OooCore {
         self.future[r.index()]
     }
 
-    fn waiting_count(&self) -> usize {
-        self.rob
+    /// Re-derives the incremental occupancy counts from the window.
+    /// Debug builds assert this every tick; release builds never call it.
+    fn counts_consistent(&self) -> bool {
+        let waiting = self
+            .rob
             .iter()
             .filter(|e| e.state == EntryState::Waiting)
-            .count()
-    }
-
-    fn load_count(&self) -> usize {
-        self.rob
+            .count();
+        let loads = self
+            .rob
             .iter()
             .filter(|e| matches!(e.mem, Some((_, _, false, _))))
-            .count()
-    }
-
-    fn store_count(&self) -> usize {
-        self.rob
+            .count();
+        let stores = self
+            .rob
             .iter()
             .filter(|e| matches!(e.mem, Some((_, _, true, _))))
-            .count()
+            .count();
+        self.n_waiting == waiting && self.n_loads == loads && self.n_stores == stores
     }
 
     // ------------------------------------------------------------- rename
@@ -253,7 +286,6 @@ impl OooCore {
     /// become prefetches. Without it the OoO baseline would be unfairly
     /// denied a real machine's wrong-path prefetching.
     fn phantom_walk(&mut self, now: Cycle, mem: &mut MemSystem) {
-        const PHANTOM_LIMIT: usize = 64;
         /// A wrong-path load slower than this poisons its consumers: its
         /// data would not return before the mispredicted branch resolves.
         const POISON_LATENCY: u64 = 30;
@@ -346,16 +378,16 @@ impl OooCore {
                 self.stats.stall_rob_full += 1;
                 break;
             }
-            if self.waiting_count() >= self.cfg.iq_entries {
+            if self.n_waiting >= self.cfg.iq_entries {
                 self.stats.stall_iq_full += 1;
                 break;
             }
             let inst = f.inst;
-            if inst.is_load() && self.load_count() >= self.cfg.lq_entries {
+            if inst.is_load() && self.n_loads >= self.cfg.lq_entries {
                 self.stats.stall_lsq_full += 1;
                 break;
             }
-            if inst.is_store() && self.store_count() >= self.cfg.sq_entries {
+            if inst.is_store() && self.n_stores >= self.cfg.sq_entries {
                 self.stats.stall_lsq_full += 1;
                 break;
             }
@@ -425,6 +457,12 @@ impl OooCore {
                 self.frontend.resolve(f.pc, inst, taken, actual_next);
             }
 
+            self.n_waiting += 1;
+            match mem_info {
+                Some((_, _, true, _)) => self.n_stores += 1,
+                Some(_) => self.n_loads += 1,
+                None => {}
+            }
             self.rob.push_back(RobEntry {
                 seq,
                 pc: f.pc,
@@ -460,20 +498,21 @@ impl OooCore {
     /// overlaid, in program order, with older in-flight (uncommitted)
     /// stores — whose values are known functionally at rename.
     fn read_through_sq(&self, mem: &MemSystem, seq: Seq, addr: u64, bytes: u64) -> u64 {
-        let mut buf = [0u8; 8];
-        for i in 0..bytes {
-            buf[i as usize] = mem.mem().read_u8(addr + i);
-        }
+        let mut buf = mem.mem().read_le(addr, bytes).to_le_bytes();
         // `self.rob` does not yet contain `seq` (called from rename), and
         // entries are program-ordered, so a simple forward walk applies
-        // stores oldest-to-youngest.
+        // stores oldest-to-youngest. `remaining` stops the walk after the
+        // youngest in-flight store (every store in the window is older
+        // than the load being renamed).
+        let mut remaining = self.n_stores;
         for e in self.rob.iter() {
-            if e.seq >= seq {
+            if remaining == 0 || e.seq >= seq {
                 break;
             }
             let Some((saddr, sbytes, true, svalue)) = e.mem else {
                 continue;
             };
+            remaining -= 1;
             let s_end = saddr + sbytes;
             let l_end = addr + bytes;
             if addr >= s_end || saddr >= l_end {
@@ -522,7 +561,6 @@ impl OooCore {
                 continue;
             }
 
-            let seq = e.seq;
             let inst = e.inst;
             let is_mem = inst.is_mem();
             if is_mem && mem_ops >= self.cfg.dcache_ports {
@@ -532,7 +570,7 @@ impl OooCore {
             let done_at = match e.mem {
                 Some((addr, bytes, false, _)) => {
                     // Load (or prefetch): forwarding / memory.
-                    match self.lookup_forward(seq, addr, bytes) {
+                    match self.lookup_forward(idx, addr, bytes) {
                         ForwardState::Forward(from) => {
                             self.stats.forwards += 1;
                             self.rob[idx].forwarded_from = Some(from);
@@ -554,11 +592,12 @@ impl OooCore {
                 Some((addr, bytes, true, _)) => {
                     // Store: address+data resolved. Check younger executed
                     // loads for a memory-order violation.
-                    if let Some(v) = self.find_violation(seq, addr, bytes) {
+                    if let Some(v) = self.find_violation(idx, addr, bytes) {
                         self.stats.violations += 1;
                         squash_at = Some(v);
                         self.rob[idx].mem_executed = true;
                         self.rob[idx].state = EntryState::Issued(now + 1);
+                        self.n_waiting -= 1;
                         break;
                     }
                     now + 1
@@ -566,6 +605,7 @@ impl OooCore {
                 None => now + self.cfg.latency.of(inst),
             };
 
+            self.n_waiting -= 1;
             let e = &mut self.rob[idx];
             e.state = EntryState::Issued(done_at);
             e.mem_executed = true;
@@ -590,12 +630,14 @@ impl OooCore {
         }
     }
 
-    fn lookup_forward(&self, seq: Seq, addr: u64, bytes: u64) -> ForwardState {
-        // Youngest older overlapping store decides.
-        for e in self.rob.iter().rev() {
-            if e.seq >= seq {
-                continue;
-            }
+    /// Forwarding decision for the load at window position `idx`.
+    fn lookup_forward(&self, idx: usize, addr: u64, bytes: u64) -> ForwardState {
+        if self.n_stores == 0 {
+            return ForwardState::Memory;
+        }
+        // Youngest older overlapping store decides; only entries before
+        // `idx` are older (the window is program-ordered).
+        for e in self.rob.range(..idx).rev() {
             let Some((saddr, sbytes, true, _)) = e.mem else {
                 continue;
             };
@@ -620,11 +662,15 @@ impl OooCore {
         ForwardState::Memory
     }
 
-    /// A store at `seq` resolving `addr` checks younger executed loads
-    /// that did not forward from it (or anything younger).
-    fn find_violation(&self, seq: Seq, addr: u64, bytes: u64) -> Option<(Seq, u64)> {
-        for e in self.rob.iter() {
-            if e.seq <= seq || !e.mem_executed {
+    /// A store at window position `idx` resolving `addr` checks younger
+    /// executed loads that did not forward from it (or anything younger).
+    fn find_violation(&self, idx: usize, addr: u64, bytes: u64) -> Option<(Seq, u64)> {
+        if self.n_loads == 0 {
+            return None;
+        }
+        let seq = self.rob[idx].seq;
+        for e in self.rob.range(idx + 1..) {
+            if !e.mem_executed {
                 continue;
             }
             let Some((laddr, lbytes, false, _)) = e.mem else {
@@ -652,6 +698,14 @@ impl OooCore {
                 break;
             }
             let e = self.rob.pop_back().expect("checked back");
+            if e.state == EntryState::Waiting {
+                self.n_waiting -= 1;
+            }
+            match e.mem {
+                Some((_, _, true, _)) => self.n_stores -= 1,
+                Some(_) => self.n_loads -= 1,
+                None => {}
+            }
             if let (Some(dest), Some(old)) = (e.dest_phys, e.old_phys) {
                 let rd = e.inst.dest().expect("dest_phys implies dest");
                 self.rat[rd.index()] = old;
@@ -671,6 +725,77 @@ impl OooCore {
         self.frontend.redirect(now + 1, pc);
     }
 
+    // ------------------------------------------------------- idle wake-up
+
+    /// Mirrors the slot-0 decision tree of [`OooCore::rename`] without side
+    /// effects. A `Cycle::MAX` wake is a stall released only by fetch,
+    /// issue, or commit — each covered by its own `next_event_cycle` term.
+    fn rename_wake(&self, now: Cycle) -> (Cycle, RenameStall) {
+        if self.fetch_blocked_on.is_some() {
+            // The phantom walk does real (prefetching) work only while it
+            // still has budget and a non-halt instruction to consume.
+            let phantom_active = self.phantom_count < PHANTOM_LIMIT
+                && self.frontend.peek().is_some_and(|f| f.inst != Inst::Halt);
+            let wake = if phantom_active { now } else { Cycle::MAX };
+            return (wake, RenameStall::BranchResolve);
+        }
+        let Some(f) = self.frontend.peek() else {
+            return (Cycle::MAX, RenameStall::Frontend);
+        };
+        if self.rob.len() >= self.cfg.rob_entries {
+            return (Cycle::MAX, RenameStall::RobFull);
+        }
+        if self.n_waiting >= self.cfg.iq_entries {
+            return (Cycle::MAX, RenameStall::IqFull);
+        }
+        if f.inst.is_load() && self.n_loads >= self.cfg.lq_entries {
+            return (Cycle::MAX, RenameStall::LsqFull);
+        }
+        if f.inst.is_store() && self.n_stores >= self.cfg.sq_entries {
+            return (Cycle::MAX, RenameStall::LsqFull);
+        }
+        (now, RenameStall::None)
+    }
+
+    /// When the ROB head could commit: the head's completion time, or
+    /// `Cycle::MAX` while it is still waiting to issue (the issue wake
+    /// covers that) or the ROB is empty (the rename wake covers that).
+    fn commit_wake(&self, now: Cycle) -> Cycle {
+        match self.rob.front() {
+            Some(e) => match e.state {
+                EntryState::Issued(done_at) => done_at.max(now),
+                EntryState::Waiting => Cycle::MAX,
+            },
+            None => Cycle::MAX,
+        }
+    }
+
+    /// When the issue stage could next act: `now` if any waiting entry has
+    /// timing-ready sources (ports or width may still hold it back — not
+    /// skippable), else the earliest known source-ready time. Entries
+    /// whose producer has not issued yet sit at `Cycle::MAX` readiness and
+    /// are woken transitively through their producer's own wake.
+    fn issue_wake(&self, now: Cycle) -> Cycle {
+        let mut wake = Cycle::MAX;
+        for e in &self.rob {
+            if e.state != EntryState::Waiting {
+                continue;
+            }
+            let ready = e
+                .srcs
+                .iter()
+                .flatten()
+                .map(|&p| self.phys_ready[p])
+                .max()
+                .unwrap_or(0);
+            if ready <= now {
+                return now;
+            }
+            wake = wake.min(ready);
+        }
+        wake
+    }
+
     // ------------------------------------------------------------- commit
 
     fn commit(&mut self, now: Cycle, mem: &mut MemSystem) {
@@ -685,6 +810,11 @@ impl OooCore {
                 break;
             }
             let e = self.rob.pop_front().expect("checked front");
+            match e.mem {
+                Some((_, _, true, _)) => self.n_stores -= 1,
+                Some(_) => self.n_loads -= 1,
+                None => {}
+            }
             let mut store = None;
             if let Some((addr, bytes, true, value)) = e.mem {
                 mem.access(now, self.id, AccessKind::Store, addr);
@@ -727,6 +857,7 @@ impl Core for OooCore {
         if self.halted {
             return;
         }
+        debug_assert!(self.counts_consistent());
         self.frontend.tick(now, mem, self.id);
         self.commit(now, mem);
         self.issue(now, mem);
@@ -745,8 +876,48 @@ impl Core for OooCore {
         self.halted
     }
 
-    fn drain_commits(&mut self) -> Vec<Commit> {
-        std::mem::take(&mut self.commits)
+    fn drain_commits_into(&mut self, out: &mut Vec<Commit>) {
+        out.append(&mut self.commits);
+    }
+
+    fn next_event_cycle(&self) -> Cycle {
+        let now = self.cycle;
+        if self.halted {
+            return Cycle::MAX;
+        }
+        // Cheap wakes first: on a busy cycle (the common case) one of
+        // them returns `now` and the O(window) issue scan is skipped
+        // entirely — this runs after every tick, so it must cost nothing
+        // when there is nothing to skip.
+        let fetch = self.frontend.next_fetch_cycle(now);
+        if fetch <= now {
+            return now;
+        }
+        let rename = self.rename_wake(now).0;
+        if rename <= now {
+            return now;
+        }
+        let commit = self.commit_wake(now);
+        if commit <= now {
+            return now;
+        }
+        fetch.min(rename).min(commit).min(self.issue_wake(now))
+    }
+
+    fn skip_to(&mut self, target: Cycle) {
+        let from = self.cycle;
+        debug_assert!(from < target && target <= self.next_event_cycle());
+        let n = target - from;
+        self.frontend.note_skipped(from, target);
+        match self.rename_wake(from).1 {
+            RenameStall::BranchResolve => self.stats.stall_branch_resolve += n,
+            RenameStall::Frontend => self.stats.stall_frontend += n,
+            RenameStall::RobFull => self.stats.stall_rob_full += n,
+            RenameStall::IqFull => self.stats.stall_iq_full += n,
+            RenameStall::LsqFull => self.stats.stall_lsq_full += n,
+            RenameStall::None => debug_assert!(false, "skip_to with rename able to act"),
+        }
+        self.cycle = target;
     }
 
     fn core_id(&self) -> usize {

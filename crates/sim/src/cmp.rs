@@ -9,7 +9,7 @@ use sst_workloads::{Scale, Workload};
 use crate::CoreModel;
 
 /// Result of a CMP run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CmpResult {
     /// Model label.
     pub model: String,
@@ -44,6 +44,7 @@ pub struct CmpSystem {
     cores: Vec<Box<dyn Core>>,
     mem: MemSystem,
     model_label: String,
+    fast_forward: bool,
 }
 
 impl CmpSystem {
@@ -71,6 +72,7 @@ impl CmpSystem {
             cores,
             mem,
             model_label: model.label(),
+            fast_forward: true,
         }
     }
 
@@ -89,7 +91,16 @@ impl CmpSystem {
             cores,
             mem,
             model_label: model.label(),
+            fast_forward: true,
         }
+    }
+
+    /// Disables idle-cycle fast-forwarding (see
+    /// `System::without_fast_forward`); for the equivalence tests and
+    /// debugging only — results are identical either way.
+    pub fn without_fast_forward(mut self) -> CmpSystem {
+        self.fast_forward = false;
+        self
     }
 
     /// Runs until every core halts (cores that finish early sit idle,
@@ -101,6 +112,7 @@ impl CmpSystem {
     pub fn run(mut self, max_cycles: Cycle) -> CmpResult {
         let n = self.cores.len();
         let mut per_core: Vec<Option<(Cycle, u64)>> = vec![None; n];
+        let mut commits = Vec::new();
         let mut done = 0;
         let mut now: Cycle = 0;
         while done < n {
@@ -110,13 +122,37 @@ impl CmpSystem {
                     continue;
                 }
                 core.tick(&mut self.mem);
-                core.drain_commits(); // throughput runs skip cosim
+                core.drain_commits_into(&mut commits); // throughput runs skip cosim
+                commits.clear();
                 if core.halted() {
                     per_core[i] = Some((core.cycle(), core.retired()));
                     done += 1;
                 }
             }
             now += 1;
+            if self.fast_forward && done < n {
+                // All active cores share one clock, so the chip may only
+                // jump to the earliest wake across them — and the jump is
+                // applied to every active core in lockstep. Clamping to
+                // `max_cycles` keeps the wedge assert firing on schedule.
+                let target = self
+                    .cores
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| per_core[*i].is_none())
+                    .map(|(_, c)| c.next_event_cycle())
+                    .min()
+                    .unwrap_or(now)
+                    .min(max_cycles);
+                if target > now {
+                    for (i, core) in self.cores.iter_mut().enumerate() {
+                        if per_core[i].is_none() {
+                            core.skip_to(target);
+                        }
+                    }
+                    now = target;
+                }
+            }
         }
         CmpResult {
             model: self.model_label,

@@ -9,7 +9,7 @@ use sst_workloads::Workload;
 use crate::{CoreModel, CosimError, RetireChecker};
 
 /// Result of a single-core run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Model label.
     pub model: String,
@@ -81,6 +81,7 @@ pub struct System {
     skip_insts: u64,
     model_label: String,
     checker: Option<RetireChecker>,
+    fast_forward: bool,
 }
 
 impl System {
@@ -101,6 +102,7 @@ impl System {
             skip_insts: workload.skip_insts,
             model_label: model.label(),
             checker: Some(RetireChecker::new(&workload.program)),
+            fast_forward: true,
         }
     }
 
@@ -108,6 +110,16 @@ impl System {
     /// sweeps; the test suite keeps it on).
     pub fn without_cosim(mut self) -> System {
         self.checker = None;
+        self
+    }
+
+    /// Disables idle-cycle fast-forwarding, ticking every cycle one by
+    /// one. Fast-forwarding never changes architected results — cycles,
+    /// commits, and counters are identical either way (the equivalence
+    /// test suite holds this invariant) — so this exists for those tests
+    /// and for debugging, not for accuracy.
+    pub fn without_fast_forward(mut self) -> System {
+        self.fast_forward = false;
         self
     }
 
@@ -127,6 +139,7 @@ impl System {
             inst_mix[i] += 1;
         };
 
+        let mut commits = Vec::new();
         while !self.core.halted() {
             if self.core.cycle() >= max_cycles {
                 return Err(CosimError {
@@ -138,10 +151,10 @@ impl System {
                 });
             }
             self.core.tick(&mut self.mem);
-            let commits = self.core.drain_commits();
-            for c in &commits {
+            self.core.drain_commits_into(&mut commits);
+            for c in commits.drain(..) {
                 if let Some(ck) = self.checker.as_mut() {
-                    ck.check(c)?;
+                    ck.check(&c)?;
                 }
                 tally(c.inst);
                 committed += 1;
@@ -149,9 +162,19 @@ impl System {
                     warmup_cycles = self.core.cycle();
                 }
             }
+            if self.fast_forward && !self.core.halted() {
+                // Bulk-skip provably idle cycles. Clamping to `max_cycles`
+                // keeps the timeout check above firing at the same cycle
+                // (and with the same commit count) as an unskipped run.
+                let target = self.core.next_event_cycle().min(max_cycles);
+                if target > self.core.cycle() {
+                    self.core.skip_to(target);
+                }
+            }
         }
         // Drain any commits recorded in the final tick.
-        for c in self.core.drain_commits() {
+        self.core.drain_commits_into(&mut commits);
+        for c in commits.drain(..) {
             if let Some(ck) = self.checker.as_mut() {
                 ck.check(&c)?;
             }

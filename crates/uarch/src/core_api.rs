@@ -47,9 +47,53 @@ pub trait Core {
     /// `true` once the program's `halt` has committed.
     fn halted(&self) -> bool;
 
-    /// Removes and returns the commits recorded since the last call, in
-    /// program order.
-    fn drain_commits(&mut self) -> Vec<Commit>;
+    /// Moves the commits recorded since the last drain into `out`
+    /// (appending, in program order). The hot-loop drivers own one
+    /// reusable buffer and call this every cycle, so implementations must
+    /// not allocate when there is nothing to drain.
+    fn drain_commits_into(&mut self, out: &mut Vec<Commit>);
+
+    /// Removes and returns the commits recorded since the last drain, in
+    /// program order. Convenience wrapper over
+    /// [`Core::drain_commits_into`] for tests and one-shot callers; the
+    /// simulation drivers use the buffer-reusing form instead.
+    fn drain_commits(&mut self) -> Vec<Commit> {
+        let mut out = Vec::new();
+        self.drain_commits_into(&mut out);
+        out
+    }
+
+    /// The earliest future cycle at which ticking this core could do
+    /// anything other than pure stall bookkeeping.
+    ///
+    /// Must be called only between ticks (after [`Core::tick`] and
+    /// [`Core::drain_commits_into`]). A return value `t > self.cycle()`
+    /// is a guarantee: for every cycle `c` in `[cycle(), t)`, `tick`
+    /// would neither touch the memory system, nor fetch, issue, commit,
+    /// replay, or roll back — it would only increment per-cycle stall
+    /// counters. The driver may then call [`Core::skip_to`] with any
+    /// target in `(cycle(), t]` and obtain a run that is cycle-for-cycle
+    /// identical (committed instructions, cycles, and all counters) to
+    /// the unskipped one.
+    ///
+    /// Returning `self.cycle()` means "no skip is provably safe"; that is
+    /// the default, so custom cores stay correct without opting in.
+    fn next_event_cycle(&self) -> Cycle {
+        self.cycle()
+    }
+
+    /// Advances the clock to `target` without ticking, bulk-crediting
+    /// exactly the stall counters the skipped ticks would have
+    /// incremented. Callers must only pass targets that
+    /// [`Core::next_event_cycle`] vouched for; the default implementation
+    /// pairs with the default `next_event_cycle` (which never vouches for
+    /// anything) and therefore panics if reached.
+    fn skip_to(&mut self, target: Cycle) {
+        panic!(
+            "{}: skip_to({target}) called but next_event_cycle() was not overridden",
+            self.model_name()
+        );
+    }
 
     /// The core's index in the shared memory system.
     fn core_id(&self) -> usize;

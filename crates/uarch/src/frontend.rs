@@ -259,6 +259,34 @@ impl Frontend {
         }
     }
 
+    /// The earliest cycle at which [`Frontend::tick`] could fetch again,
+    /// assuming the core consumes nothing in the meantime. `Cycle::MAX`
+    /// when fetch is parked on something only the core can clear (an
+    /// unresolved indirect, wrong-path bytes, a fetched `halt`, or a full
+    /// queue); the end of the current I-cache stall otherwise; `now` when
+    /// fetch can proceed immediately.
+    pub fn next_fetch_cycle(&self, now: Cycle) -> Cycle {
+        if self.waiting_indirect
+            || self.bad_path
+            || self.saw_halt
+            || self.queue.len() >= self.cfg.queue_depth
+        {
+            return Cycle::MAX;
+        }
+        self.stalled_until.max(now)
+    }
+
+    /// Bulk-credits the per-cycle bookkeeping [`Frontend::tick`] performs
+    /// for skipped cycles `[from, to)`: one `icache_stall_cycles` for each
+    /// cycle still inside the I-cache stall window. (The stall check runs
+    /// before the parked-flag checks in `tick`, so the credit applies even
+    /// while fetch is also parked.)
+    pub fn note_skipped(&mut self, from: Cycle, to: Cycle) {
+        if from < self.stalled_until {
+            self.icache_stall_cycles += self.stalled_until.min(to) - from;
+        }
+    }
+
     /// Flushes the queue and restarts fetch at `pc` after the redirect
     /// penalty. Clears indirect/bad-path/halt blocks and conservatively
     /// repairs the RAS.

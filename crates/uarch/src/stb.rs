@@ -246,10 +246,7 @@ impl StoreBuffer {
         if self.unknown_addr_before(seq) {
             return None;
         }
-        let mut buf = [0u8; 8];
-        for i in 0..bytes {
-            buf[i as usize] = mem.read_u8(addr + i);
-        }
+        let mut buf = mem.read_le(addr, bytes).to_le_bytes();
         for e in self.entries.iter() {
             if e.seq >= seq {
                 break;
