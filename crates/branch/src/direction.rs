@@ -4,8 +4,9 @@
 ///
 /// Implementations keep their own global history; history is updated at
 /// [`DirectionPredictor::update`] (resolve time), the standard arrangement
-/// for simple simulators.
-pub trait DirectionPredictor {
+/// for simple simulators. Predictors are `Send` (they are plain tables)
+/// so cores embedding them can be ticked from CMP worker threads.
+pub trait DirectionPredictor: Send {
     /// Predicts the direction of the branch at `pc`.
     fn predict(&self, pc: u64) -> bool;
     /// Trains with the resolved direction.

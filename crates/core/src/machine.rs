@@ -4,7 +4,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use sst_isa::{Inst, Program, Reg};
-use sst_mem::{AccessKind, Cycle, MemSystem};
+use sst_mem::{AccessKind, Cycle, MemBus};
 use sst_uarch::{
     execute, extend_load, mem_addr, Checkpoint, Commit, Core, DeferredQueue, DqEntry, FetchedInst,
     ForwardResult, Frontend, RegImage, Seq, StoreBuffer, StoreEntry,
@@ -130,7 +130,7 @@ pub struct SstCore {
 
 impl SstCore {
     /// Creates a core with index `id` starting at `program.entry`. The
-    /// caller loads the program image into the shared [`MemSystem`].
+    /// caller loads the program image into the core's memory port.
     pub fn new(cfg: SstConfig, id: usize, program: &Program) -> SstCore {
         assert!(cfg.checkpoints >= 1, "need at least one checkpoint");
         SstCore {
@@ -314,7 +314,7 @@ impl SstCore {
 
     // ------------------------------------------------------------- commit
 
-    fn try_commit(&mut self, now: Cycle, mem: &mut MemSystem) {
+    fn try_commit(&mut self, now: Cycle, mem: &mut MemBus) {
         if !self.cfg.retain_results {
             return; // scout epochs end in rollback, never commit
         }
@@ -334,7 +334,7 @@ impl SstCore {
             );
             self.commits.append(&mut ep.log);
             for d in self.stb.drain_through(bound) {
-                mem.access(now, self.id, AccessKind::Store, d.addr);
+                mem.access(now, AccessKind::Store, d.addr);
                 mem.write(d.addr, d.bytes, d.value);
             }
             self.stats.epochs_committed += 1;
@@ -418,7 +418,7 @@ impl SstCore {
     fn replay(
         &mut self,
         now: Cycle,
-        mem: &mut MemSystem,
+        mem: &mut MemBus,
         slots: usize,
         mem_ops: &mut usize,
     ) -> usize {
@@ -542,7 +542,7 @@ impl SstCore {
         &mut self,
         e: &DqEntry,
         now: Cycle,
-        mem: &mut MemSystem,
+        mem: &mut MemBus,
         mem_ops: &mut usize,
     ) -> ReplayOutcome {
         let (s1, s2) = self.entry_sources(e);
@@ -571,7 +571,7 @@ impl SstCore {
                         return ReplayOutcome::PortFull;
                     }
                     *mem_ops += 1;
-                    let out = mem.access_pc(now, self.id, AccessKind::Load, addr, e.pc);
+                    let out = mem.access_pc(now, AccessKind::Load, addr, e.pc);
                     if out.level == sst_mem::HitLevel::Mem
                         && out.latency(now) > self.cfg.defer_threshold
                     {
@@ -606,7 +606,7 @@ impl SstCore {
                 let value = s2;
                 self.stb.resolve(e.seq, addr, value);
                 // Warm the line for the eventual commit-time write.
-                mem.access_pc(now, self.id, AccessKind::Prefetch, addr, e.pc);
+                mem.access_pc(now, AccessKind::Prefetch, addr, e.pc);
                 self.log_commit_deferred(Commit {
                     seq: e.seq,
                     pc: e.pc,
@@ -619,7 +619,7 @@ impl SstCore {
             }
             Inst::Prefetch { .. } => {
                 let addr = mem_addr(e.inst, s1);
-                mem.access_pc(now, self.id, AccessKind::Prefetch, addr, e.pc);
+                mem.access_pc(now, AccessKind::Prefetch, addr, e.pc);
                 self.log_commit_deferred(Commit {
                     seq: e.seq,
                     pc: e.pc,
@@ -736,7 +736,7 @@ impl SstCore {
     fn manage_speculation(
         &mut self,
         now: Cycle,
-        mem: &mut MemSystem,
+        mem: &mut MemBus,
         mem_ops: &mut usize,
     ) -> (usize, bool) {
         let width = self.cfg.width;
@@ -861,7 +861,7 @@ impl SstCore {
 
     /// Issues ahead-strand instructions. Returns after using `slots` slots
     /// or hitting a stall.
-    fn ahead(&mut self, now: Cycle, mem: &mut MemSystem, slots: usize, mem_ops: &mut usize) {
+    fn ahead(&mut self, now: Cycle, mem: &mut MemBus, slots: usize, mem_ops: &mut usize) {
         for slot in 0..slots {
             let Some(f) = self.frontend.peek().copied() else {
                 if slot == 0 {
@@ -1002,7 +1002,7 @@ impl SstCore {
                                 break;
                             }
                             *mem_ops += 1;
-                            let out = mem.access_pc(now, self.id, AccessKind::Load, addr, f.pc);
+                            let out = mem.access_pc(now, AccessKind::Load, addr, f.pc);
                             // ROCK's defer trigger is the L2-miss *event*:
                             // off-chip accesses defer, on-chip hits (even
                             // queued ones) are waited out. The latency
@@ -1103,7 +1103,7 @@ impl SstCore {
                             value: Some(data),
                         });
                         // Warm the line ahead of the commit-time write.
-                        mem.access_pc(now, self.id, AccessKind::Prefetch, addr, f.pc);
+                        mem.access_pc(now, AccessKind::Prefetch, addr, f.pc);
                         self.log_commit(Commit {
                             seq: self.seq,
                             pc: f.pc,
@@ -1121,7 +1121,7 @@ impl SstCore {
                         self.frontend.pop();
                         self.seq += 1;
                         self.stats.ahead_issued += 1;
-                        mem.access_pc(now, self.id, AccessKind::Store, addr, f.pc);
+                        mem.access_pc(now, AccessKind::Store, addr, f.pc);
                         mem.write(addr, bytes, data);
                         self.log_commit(Commit {
                             seq: self.seq,
@@ -1139,7 +1139,7 @@ impl SstCore {
                     self.frontend.pop();
                     self.seq += 1;
                     self.stats.ahead_issued += 1;
-                    mem.access_pc(now, self.id, AccessKind::Prefetch, addr, f.pc);
+                    mem.access_pc(now, AccessKind::Prefetch, addr, f.pc);
                     self.log_commit(Commit {
                         seq: self.seq,
                         pc: f.pc,
@@ -1186,7 +1186,7 @@ impl SstCore {
 }
 
 impl Core for SstCore {
-    fn tick(&mut self, mem: &mut MemSystem) {
+    fn tick(&mut self, mem: &mut MemBus) {
         let now = self.cycle;
         self.cycle += 1;
         if self.halted {
@@ -1201,7 +1201,7 @@ impl Core for SstCore {
             self.stb.len()
         );
 
-        self.frontend.tick(now, mem, self.id);
+        self.frontend.tick(now, mem);
         self.try_commit(now, mem);
 
         let mut mem_ops = 0usize;

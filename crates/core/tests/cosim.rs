@@ -47,7 +47,7 @@ fn cosim(cfg: SstConfig, build: &dyn Fn(&mut Asm), max_cycles: u64) -> (SstCore,
     let mut checked: u64 = 0;
 
     while !core.halted() && core.cycle() < max_cycles {
-        core.tick(&mut mem);
+        core.tick(&mut mem.bus(0));
         for c in core.drain_commits() {
             let ev = interp.step().expect("interp ok");
             checked += 1;
@@ -497,7 +497,7 @@ fn committed_count_matches_functional_count() {
         let mut core = SstCore::new(cfg, 0, &p);
         let mut total = 0u64;
         while !core.halted() && core.cycle() < 50_000_000 {
-            core.tick(&mut mem);
+            core.tick(&mut mem.bus(0));
             total += core.drain_commits().len() as u64;
         }
         total += core.drain_commits().len() as u64;

@@ -12,7 +12,7 @@ fn run_with(cfg: SstConfig, p: &Program, max: u64) -> (SstCore, MemSystem) {
     p.load_into(mem.mem_mut());
     let mut core = SstCore::new(cfg, 0, p);
     while !core.halted() && core.cycle() < max {
-        core.tick(&mut mem);
+        core.tick(&mut mem.bus(0));
         core.drain_commits();
     }
     assert!(core.halted(), "did not halt");

@@ -14,7 +14,7 @@ fn run_core(mut core: impl Core, p: &Program, max: u64) -> (u64, u64) {
     let mut mem = MemSystem::new(&MemConfig::default(), 1);
     p.load_into(mem.mem_mut());
     while !core.halted() && core.cycle() < max {
-        core.tick(&mut mem);
+        core.tick(&mut mem.bus(0));
     }
     assert!(core.halted(), "did not finish");
     (core.cycle(), core.retired())

@@ -7,6 +7,13 @@
 //! not the simulated machines: a regression here means `tick()` or the
 //! memory walk got slower, long before anyone notices on a full sweep.
 //!
+//! Each pair gets one unmeasured warm-up run (page faults, allocator
+//! growth, icache) followed by `--repeats` timed runs; the reported wall
+//! time is the median, which shrugs off one noisy neighbour on a shared
+//! runner. A CMP section times a 16-core SST chip at `--threads` 1 and 4
+//! and reports the parallel speedup alongside the host's available
+//! parallelism (a 1-CPU host will honestly report ~1×).
+//!
 //! The result is written as JSON (default `BENCH_hotloop.json`, intended
 //! to live at the repo root) so CI can compare a fresh run against the
 //! committed baseline with `--check`:
@@ -14,11 +21,16 @@
 //! * fresh geomean < 90% of baseline → loud warning, exit 0 (soft gate —
 //!   shared CI runners are noisy);
 //! * fresh geomean < 75% of baseline → exit 1 (a real regression).
+//!
+//! The `--check` geomean covers the single-core matrix only; the CMP
+//! pairs are informational (their wall time depends on host parallelism,
+//! which CI runners do not guarantee).
 
 use std::time::Instant;
 
 use crate::json::JVal;
-use sst_sim::{geomean, CoreModel, System};
+use sst_mem::MemConfig;
+use sst_sim::{geomean, CmpSystem, CoreModel, System};
 use sst_workloads::{Scale, Workload};
 
 /// Cycle budget per pair; bench pairs are small, this is wedge insurance.
@@ -33,9 +45,26 @@ const DEFAULT_WORKLOADS: &[&str] = &["gzip", "erp", "oltp"];
 const WARN_BELOW: f64 = 0.90;
 const FAIL_BELOW: f64 = 0.75;
 
+/// The CMP section: a 16-core SST chip on the memory-bound workload,
+/// serial vs. 4 simulation threads.
+const CMP_CORES: usize = 16;
+const CMP_WORKLOAD: &str = "erp";
+const CMP_THREADS: [usize; 2] = [1, 4];
+
 struct PairResult {
     model: String,
     workload: String,
+    insts: u64,
+    cycles: u64,
+    wall_ms: f64,
+    minst_per_s: f64,
+}
+
+struct CmpPairResult {
+    model: String,
+    workload: String,
+    cores: usize,
+    threads: usize,
     insts: u64,
     cycles: u64,
     wall_ms: f64,
@@ -64,6 +93,8 @@ struct BenchOpts {
     out: String,
     check: bool,
     fast_forward: bool,
+    repeats: usize,
+    cmp: bool,
 }
 
 impl BenchOpts {
@@ -76,6 +107,8 @@ impl BenchOpts {
             out: "BENCH_hotloop.json".to_string(),
             check: false,
             fast_forward: true,
+            repeats: 3,
+            cmp: true,
         }
     }
 }
@@ -95,6 +128,9 @@ options:
   --seed N           workload seed (default 12345)
   --models a,b,..    io scout ea sst o32 o64 o128 (default io,scout,ea,sst,o128)
   --workloads a,b,.. any study workload (default gzip,erp,oltp)
+  --repeats N        timed runs per pair after one warm-up; the median
+                     is reported (default 3)
+  --no-cmp           skip the 16-core CMP pairs (threads 1 vs 4)
   --no-fast-forward  tick every cycle (measures the unskipped loop)
   --help             this text";
 
@@ -109,6 +145,11 @@ pub fn bench_main<I: Iterator<Item = String>>(mut args: I) -> i32 {
             }
             "--check" => o.check = true,
             "--no-fast-forward" => o.fast_forward = false,
+            "--no-cmp" => o.cmp = false,
+            "--repeats" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => o.repeats = n,
+                _ => return bench_arg_err("--repeats needs a positive integer"),
+            },
             "--out" => match args.next() {
                 Some(p) => o.out = p,
                 None => return bench_arg_err("--out needs a path"),
@@ -167,8 +208,10 @@ fn run_bench(o: &BenchOpts) -> i32 {
         None
     };
 
+    let host_cpus = host_cpus();
     println!(
-        "sst-run bench: {} pair(s), scale={}, seed={}, fast-forward {}",
+        "sst-run bench: {} pair(s), scale={}, seed={}, fast-forward {}, \
+         warm-up + median of {}, host cpus {}",
         models.len() * o.workloads.len(),
         match o.scale {
             Scale::Smoke => "smoke",
@@ -176,41 +219,47 @@ fn run_bench(o: &BenchOpts) -> i32 {
         },
         o.seed,
         if o.fast_forward { "on" } else { "off" },
+        o.repeats,
+        host_cpus,
     );
 
     let mut pairs: Vec<PairResult> = Vec::new();
     for model in &models {
         for wname in &o.workloads {
-            let Some(w) = Workload::by_name(wname, o.scale, o.seed) else {
+            if Workload::by_name(wname, o.scale, o.seed).is_none() {
                 return bench_arg_err(&format!("unknown workload {wname:?}"));
-            };
-            let label = model.label();
-            let mut sys = System::new(model.clone(), &w).without_cosim();
-            if !o.fast_forward {
-                sys = sys.without_fast_forward();
             }
-            let started = Instant::now();
-            let r = match sys.run_checked(BENCH_MAX_CYCLES) {
-                Ok(r) => r,
+            let label = model.label();
+            let run_once = || {
+                let w = Workload::by_name(wname, o.scale, o.seed).expect("checked above");
+                let mut sys = System::new(model.clone(), &w).without_cosim();
+                if !o.fast_forward {
+                    sys = sys.without_fast_forward();
+                }
+                let started = Instant::now();
+                let r = sys.run_checked(BENCH_MAX_CYCLES).map_err(|e| e.to_string())?;
+                Ok((r.insts, r.cycles, started.elapsed().as_secs_f64()))
+            };
+            let (insts, cycles, wall) = match timed_median(o.repeats, run_once) {
+                Ok(t) => t,
                 Err(e) => {
                     eprintln!("sst-run bench: {label}/{wname}: {e}");
                     return 1;
                 }
             };
-            let wall = started.elapsed().as_secs_f64();
-            let minst_per_s = r.insts as f64 / 1e6 / wall.max(1e-9);
+            let minst_per_s = insts as f64 / 1e6 / wall.max(1e-9);
             println!(
                 "  {label:<8} {wname:<8} {:>9} insts {:>10} cycles {:>8.1} ms {:>8.2} Minst/s",
-                r.insts,
-                r.cycles,
+                insts,
+                cycles,
                 wall * 1e3,
                 minst_per_s,
             );
             pairs.push(PairResult {
                 model: label,
                 workload: wname.clone(),
-                insts: r.insts,
-                cycles: r.cycles,
+                insts,
+                cycles,
                 wall_ms: wall * 1e3,
                 minst_per_s,
             });
@@ -220,7 +269,19 @@ fn run_bench(o: &BenchOpts) -> i32 {
     let g = geomean(&pairs.iter().map(|p| p.minst_per_s).collect::<Vec<_>>());
     println!("geomean: {g:.2} Minst/s");
 
-    if let Err(e) = std::fs::write(&o.out, render_report(o, &pairs, g)) {
+    let cmp_pairs = if o.cmp {
+        match run_cmp_bench(o) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("sst-run bench: cmp: {e}");
+                return 1;
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    if let Err(e) = std::fs::write(&o.out, render_report(o, &pairs, &cmp_pairs, g, host_cpus)) {
         eprintln!("sst-run bench: cannot write {}: {e}", o.out);
         return 1;
     }
@@ -252,20 +313,113 @@ fn run_bench(o: &BenchOpts) -> i32 {
     0
 }
 
-fn render_report(o: &BenchOpts, pairs: &[PairResult], g: f64) -> String {
-    let doc = JVal::obj([
-        ("version", JVal::str(env!("CARGO_PKG_VERSION"))),
+/// The host's available parallelism (1 when unknown). Recorded in the
+/// report so a ~1× CMP speedup on a 1-CPU runner reads as expected, not
+/// as a regression.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// One unmeasured warm-up run, then `repeats` timed runs; returns the
+/// (insts, cycles, wall-seconds) triple of the run with the median wall
+/// time. The simulations are deterministic, so insts and cycles are
+/// identical across runs — only the wall time varies.
+fn timed_median<F>(repeats: usize, run_once: F) -> Result<(u64, u64, f64), String>
+where
+    F: Fn() -> Result<(u64, u64, f64), String>,
+{
+    run_once()?; // warm-up: faults the pages, grows the allocator
+    let mut timed = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        timed.push(run_once()?);
+    }
+    timed.sort_by(|a, b| a.2.total_cmp(&b.2));
+    Ok(timed[timed.len() / 2])
+}
+
+/// Times the 16-core SST chip on the memory-bound workload at each entry
+/// of [`CMP_THREADS`], printing the thread-scaling speedup. The results
+/// are byte-identical across thread counts (the equivalence suite proves
+/// it), so the CMP rows differ only in wall time.
+fn run_cmp_bench(o: &BenchOpts) -> Result<Vec<CmpPairResult>, String> {
+    let model = CoreModel::Sst;
+    let label = model.label();
+    let mut out: Vec<CmpPairResult> = Vec::new();
+    for threads in CMP_THREADS {
+        let run_once = || {
+            let sys = CmpSystem::homogeneous(
+                model.clone(),
+                CMP_WORKLOAD,
+                o.scale,
+                o.seed,
+                CMP_CORES,
+                &MemConfig::default(),
+            )
+            .with_threads(threads);
+            let started = Instant::now();
+            let r = sys.run(BENCH_MAX_CYCLES);
+            let insts: u64 = r.per_core.iter().map(|&(_, i)| i).sum();
+            Ok((insts, r.cycles, started.elapsed().as_secs_f64()))
+        };
+        let (insts, cycles, wall) = timed_median(o.repeats, run_once)?;
+        let minst_per_s = insts as f64 / 1e6 / wall.max(1e-9);
+        println!(
+            "  {label:<8} {CMP_WORKLOAD}x{CMP_CORES} t={threads} {insts:>9} insts \
+             {cycles:>10} cycles {:>8.1} ms {minst_per_s:>8.2} Minst/s",
+            wall * 1e3,
+        );
+        out.push(CmpPairResult {
+            model: label.clone(),
+            workload: CMP_WORKLOAD.to_string(),
+            cores: CMP_CORES,
+            threads,
+            insts,
+            cycles,
+            wall_ms: wall * 1e3,
+            minst_per_s,
+        });
+    }
+    if let (Some(serial), Some(parallel)) = (out.first(), out.last()) {
+        if serial.threads != parallel.threads {
+            println!(
+                "cmp speedup: {:.2}x at {} thread(s) vs 1 (host cpus: {})",
+                serial.wall_ms / parallel.wall_ms.max(1e-9),
+                parallel.threads,
+                host_cpus(),
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn render_report(
+    o: &BenchOpts,
+    pairs: &[PairResult],
+    cmp_pairs: &[CmpPairResult],
+    g: f64,
+    host_cpus: usize,
+) -> String {
+    let cmp_speedup = match (cmp_pairs.first(), cmp_pairs.last()) {
+        (Some(s), Some(p)) if s.threads != p.threads => {
+            Some(s.wall_ms / p.wall_ms.max(1e-9))
+        }
+        _ => None,
+    };
+    let mut fields = vec![
+        ("version".to_string(), JVal::str(env!("CARGO_PKG_VERSION"))),
         (
-            "scale",
+            "scale".to_string(),
             JVal::str(match o.scale {
                 Scale::Smoke => "smoke",
                 Scale::Full => "full",
             }),
         ),
-        ("seed", JVal::Int(o.seed)),
-        ("fast_forward", JVal::Bool(o.fast_forward)),
+        ("seed".to_string(), JVal::Int(o.seed)),
+        ("fast_forward".to_string(), JVal::Bool(o.fast_forward)),
+        ("repeats".to_string(), JVal::Int(o.repeats as u64)),
+        ("host_cpus".to_string(), JVal::Int(host_cpus as u64)),
         (
-            "pairs",
+            "pairs".to_string(),
             JVal::Arr(
                 pairs
                     .iter()
@@ -282,9 +436,32 @@ fn render_report(o: &BenchOpts, pairs: &[PairResult], g: f64) -> String {
                     .collect(),
             ),
         ),
-        ("geomean_minst_per_s", JVal::Num(g)),
-    ]);
-    doc.render_pretty()
+        (
+            "cmp_pairs".to_string(),
+            JVal::Arr(
+                cmp_pairs
+                    .iter()
+                    .map(|p| {
+                        JVal::obj([
+                            ("model", JVal::str(&p.model)),
+                            ("workload", JVal::str(&p.workload)),
+                            ("cores", JVal::Int(p.cores as u64)),
+                            ("threads", JVal::Int(p.threads as u64)),
+                            ("insts", JVal::Int(p.insts)),
+                            ("cycles", JVal::Int(p.cycles)),
+                            ("wall_ms", JVal::Num(p.wall_ms)),
+                            ("minst_per_s", JVal::Num(p.minst_per_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(s) = cmp_speedup {
+        fields.push(("cmp_parallel_speedup".to_string(), JVal::Num(s)));
+    }
+    fields.push(("geomean_minst_per_s".to_string(), JVal::Num(g)));
+    JVal::Obj(fields).render_pretty()
 }
 
 /// Extracts `geomean_minst_per_s` from a previous report. A string scan,
@@ -320,7 +497,7 @@ mod tests {
             wall_ms: 250.0,
             minst_per_s: 4.0,
         }];
-        let body = render_report(&o, &pairs, 4.0);
+        let body = render_report(&o, &pairs, &[], 4.0, 1);
         let dir = std::env::temp_dir().join(format!("sst-bench-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_hotloop.json");
@@ -333,5 +510,27 @@ mod tests {
     #[test]
     fn missing_baseline_is_none() {
         assert_eq!(read_baseline_geomean("/no/such/file.json"), None);
+    }
+
+    #[test]
+    fn timed_median_warms_up_then_takes_the_median() {
+        // Walls: warm-up 100.0 (discarded), then 9.0, 1.0, 5.0 → median 5.0.
+        let walls = std::cell::Cell::new(0usize);
+        let sched = [100.0, 9.0, 1.0, 5.0];
+        let (insts, cycles, wall) = timed_median(3, || {
+            let i = walls.get();
+            walls.set(i + 1);
+            Ok((42, 84, sched[i]))
+        })
+        .unwrap();
+        assert_eq!((insts, cycles), (42, 84));
+        assert!((wall - 5.0).abs() < 1e-12, "{wall}");
+        assert_eq!(walls.get(), 4, "one warm-up + three timed runs");
+    }
+
+    #[test]
+    fn timed_median_propagates_failures() {
+        let err = timed_median(2, || Err::<(u64, u64, f64), _>("boom".to_string()));
+        assert_eq!(err.unwrap_err(), "boom");
     }
 }

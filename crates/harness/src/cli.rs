@@ -29,6 +29,8 @@ subcommands:
 
 options:
   --jobs N       worker threads (default: available parallelism)
+  --threads N    simulation threads per CMP job (default 1; results
+                 are byte-identical for any value)
   --no-cache     ignore and do not populate results/cache/
   --list         list experiments and exit
   --help         this text
@@ -77,6 +79,22 @@ pub fn cli_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
                     Ok(n) if n >= 1 => cfg.jobs = n,
                     _ => {
                         eprintln!("sst-run: --jobs needs a positive integer");
+                        return 2;
+                    }
+                }
+            }
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.sim_threads = n,
+                _ => {
+                    eprintln!("sst-run: --threads needs a positive integer");
+                    return 2;
+                }
+            },
+            _ if a.starts_with("--threads=") => {
+                match a["--threads=".len()..].parse::<usize>() {
+                    Ok(n) if n >= 1 => cfg.sim_threads = n,
+                    _ => {
+                        eprintln!("sst-run: --threads needs a positive integer");
                         return 2;
                     }
                 }

@@ -167,11 +167,16 @@ impl JobSpec {
 
     /// Runs the job to completion.
     ///
+    /// `threads` is the CMP simulation thread count — a pure wall-clock
+    /// knob (the parallel driver is byte-identical to the serial one),
+    /// which is why it is a call argument and not part of the spec or
+    /// the cache key. Single runs ignore it.
+    ///
     /// Returns `Err` with a descriptive message for *detected* failures
     /// (a run exceeding the cycle budget, a co-simulation divergence).
     /// Model bugs that panic are *not* caught here — the scheduler wraps
     /// this call in `catch_unwind`.
-    pub fn execute(&self, env: &Env) -> Result<JobOutput, String> {
+    pub fn execute(&self, env: &Env, threads: usize) -> Result<JobOutput, String> {
         match &self.kind {
             JobKind::Single { model, workload, mem } => {
                 let w = Workload::by_name(workload, env.scale, env.seed)
@@ -199,6 +204,7 @@ impl JobSpec {
                     *cores,
                     mem,
                 )
+                .with_threads(threads)
                 .run(env.max_cycles);
                 Ok(JobOutput::Cmp(r))
             }
@@ -261,16 +267,27 @@ mod tests {
     }
 
     #[test]
+    fn cmp_output_is_identical_for_any_thread_count() {
+        // `threads` is a wall-clock knob: the same spec must produce the
+        // same CmpResult at 1 and 4 simulation threads (which is why it
+        // is not in the cache key).
+        let j = JobSpec::cmp("sst/x4", CoreModel::Sst, "erp", 4);
+        let serial = j.execute(&env(), 1).expect("runs");
+        let parallel = j.execute(&env(), 4).expect("runs");
+        assert_eq!(serial.cmp(), parallel.cmp());
+    }
+
+    #[test]
     fn single_executes_and_reports_budget_overruns() {
         let j = JobSpec::single("io/gzip", CoreModel::InOrder, "gzip");
-        let out = j.execute(&env()).expect("runs");
+        let out = j.execute(&env(), 1).expect("runs");
         assert!(out.run().insts > 0);
 
         let tiny = Env {
             max_cycles: 50,
             ..env()
         };
-        let err = j.execute(&tiny).unwrap_err();
+        let err = j.execute(&tiny, 1).unwrap_err();
         assert!(err.contains("did not halt"), "{err}");
     }
 }

@@ -27,6 +27,10 @@ use crate::{cache, Env};
 pub struct RunConfig {
     /// Worker thread count (>= 1).
     pub jobs: usize,
+    /// Simulation threads per CMP job (>= 1). Purely a wall-clock knob:
+    /// the parallel CMP driver is byte-identical to the serial one, so
+    /// this must never enter cache keys.
+    pub sim_threads: usize,
     /// Serve and populate the content-addressed cache.
     pub use_cache: bool,
     /// Output root; `results/` is created beneath it.
@@ -45,6 +49,7 @@ impl RunConfig {
             jobs: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            sim_threads: 1,
             use_cache: true,
             out_dir: crate::out_dir_from_os(),
             env: Env::from_os(),
@@ -240,7 +245,9 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
                     None
                 }
                 .unwrap_or_else(|| {
-                    match catch_unwind(AssertUnwindSafe(|| spec.execute(&env))) {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        spec.execute(&env, cfg.sim_threads)
+                    })) {
                         Ok(Ok(output)) => {
                             if cfg.use_cache {
                                 // A full cache disk is not a reason to
@@ -581,6 +588,7 @@ fn write_manifest(cfg: &RunConfig, summary: &RunSummary) {
         ("seed", JVal::Int(cfg.env.seed)),
         ("max_cycles", JVal::Int(cfg.env.max_cycles)),
         ("workers", JVal::Int(cfg.jobs as u64)),
+        ("sim_threads", JVal::Int(cfg.sim_threads as u64)),
         ("cache_enabled", JVal::Bool(cfg.use_cache)),
         ("total_jobs", JVal::Int(summary.total_jobs as u64)),
         ("cache_hits", JVal::Int(summary.cache_hits as u64)),

@@ -28,6 +28,7 @@ fn tmp_out(tag: &str) -> PathBuf {
 fn cfg(out: &Path, jobs: usize, use_cache: bool) -> RunConfig {
     RunConfig {
         jobs,
+        sim_threads: 1,
         use_cache,
         out_dir: out.to_path_buf(),
         env: smoke_env(),

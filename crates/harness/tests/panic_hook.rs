@@ -29,6 +29,7 @@ fn tmp_out(tag: &str) -> PathBuf {
 fn cfg(out: &Path) -> RunConfig {
     RunConfig {
         jobs: 2,
+        sim_threads: 1,
         use_cache: false,
         out_dir: out.to_path_buf(),
         env: Env {

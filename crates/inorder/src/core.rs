@@ -1,7 +1,7 @@
 //! The in-order pipeline model.
 
 use sst_isa::{Inst, Program};
-use sst_mem::{AccessKind, Cycle, MemSystem};
+use sst_mem::{AccessKind, Cycle, MemBus};
 use sst_uarch::{
     execute, extend_load, mem_addr, Commit, Core, ExecLatency, FetchedInst, Frontend,
     FrontendConfig, RegImage, Seq,
@@ -64,7 +64,7 @@ impl InOrderCore {
     /// Creates a core with index `id` that will start at `program.entry`.
     ///
     /// The caller is responsible for loading the program image into the
-    /// shared [`MemSystem`] (see `Program::load_into`).
+    /// core's memory port (see `Program::load_into`).
     pub fn new(cfg: InOrderConfig, id: usize, program: &Program) -> InOrderCore {
         InOrderCore {
             frontend: Frontend::new(cfg.frontend, program.entry),
@@ -98,7 +98,7 @@ impl InOrderCore {
 
     /// Issues one instruction; returns `false` if issue must stop this
     /// cycle (control redirect or halt).
-    fn issue(&mut self, fetched: FetchedInst, now: Cycle, mem: &mut MemSystem) -> bool {
+    fn issue(&mut self, fetched: FetchedInst, now: Cycle, mem: &mut MemBus) -> bool {
         self.seq += 1;
         let seq = self.seq;
         let pc = fetched.pc;
@@ -116,7 +116,7 @@ impl InOrderCore {
                 let (base_val, _) = self.source_vals(inst);
                 let addr = mem_addr(inst, base_val);
                 let bytes = width.bytes();
-                let out = mem.access_pc(now, self.id, AccessKind::Load, addr, pc);
+                let out = mem.access_pc(now, AccessKind::Load, addr, pc);
                 let raw = mem.read(addr, bytes);
                 let value = extend_load(width, signed, raw);
                 self.regs.write(rd, value, seq, out.ready_at);
@@ -129,14 +129,14 @@ impl InOrderCore {
                 let _ = src;
                 let addr = mem_addr(inst, base_val);
                 let bytes = width.bytes();
-                mem.access_pc(now, self.id, AccessKind::Store, addr, pc);
+                mem.access_pc(now, AccessKind::Store, addr, pc);
                 mem.write(addr, bytes, data);
                 store = Some((addr, bytes, data));
             }
             Inst::Prefetch { .. } => {
                 let (base_val, _) = self.source_vals(inst);
                 let addr = mem_addr(inst, base_val);
-                mem.access_pc(now, self.id, AccessKind::Prefetch, addr, pc);
+                mem.access_pc(now, AccessKind::Prefetch, addr, pc);
             }
             Inst::Halt => {
                 self.halted = true;
@@ -177,13 +177,13 @@ impl InOrderCore {
 }
 
 impl Core for InOrderCore {
-    fn tick(&mut self, mem: &mut MemSystem) {
+    fn tick(&mut self, mem: &mut MemBus) {
         let now = self.cycle;
         self.cycle += 1;
         if self.halted {
             return;
         }
-        self.frontend.tick(now, mem, self.id);
+        self.frontend.tick(now, mem);
 
         let mut mem_ops = 0;
         for slot in 0..self.cfg.width {
@@ -290,7 +290,7 @@ impl Core for InOrderCore {
 mod tests {
     use super::*;
     use sst_isa::{Asm, Interp, Reg, StopReason};
-    use sst_mem::MemConfig;
+    use sst_mem::{MemConfig, MemSystem};
 
     fn run(
         build: impl FnOnce(&mut Asm),
@@ -303,7 +303,7 @@ mod tests {
         p.load_into(mem.mem_mut());
         let mut core = InOrderCore::new(InOrderConfig::default(), 0, &p);
         while !core.halted() && core.cycle() < max_cycles {
-            core.tick(&mut mem);
+            core.tick(&mut mem.bus(0));
         }
         assert!(core.halted(), "program did not finish in {max_cycles} cycles");
         (core, mem, p)
@@ -559,7 +559,7 @@ mod tests {
         );
         let retired = core.retired();
         for _ in 0..100 {
-            core.tick(&mut mem);
+            core.tick(&mut mem.bus(0));
         }
         assert_eq!(core.retired(), retired);
     }

@@ -27,6 +27,18 @@
 //! single-threaded programs (or multiprogrammed mixes with disjoint address
 //! spaces), matching the paper's per-thread performance methodology.
 //!
+//! ## Ports and deterministic parallelism
+//!
+//! The system splits along the chip's ownership boundary: each core owns a
+//! private [`MemPort`] (L1s, L1 MSHRs, prefetcher, its slice of the backing
+//! store, per-core counters) and reaches the shared L2/DRAM residue through
+//! a [`MemBus`]. Serial drivers use [`MemSystem::bus`] (a plain reborrow);
+//! parallel drivers call [`MemSystem::into_parallel`] and hand each worker
+//! thread its ports plus a gated bus from [`ParallelMem::bus`], which
+//! blocks each shared-state escalation until the core's deterministic turn
+//! — so parallel runs are byte-identical to serial ones. See
+//! [`ParallelMem`] for the turn protocol.
+//!
 //! ```
 //! use sst_mem::{MemConfig, MemSystem, AccessKind, HitLevel};
 //!
@@ -46,6 +58,7 @@ mod cache;
 mod config;
 mod dram;
 mod mshr;
+mod parallel;
 mod prefetch;
 mod stats;
 mod system;
@@ -54,9 +67,10 @@ pub use cache::TagArray;
 pub use config::{CacheConfig, DramConfig, MemConfig, StrideConfig};
 pub use dram::Dram;
 pub use mshr::MshrFile;
+pub use parallel::ParallelMem;
 pub use prefetch::StridePrefetcher;
 pub use stats::{CacheStats, MemStats};
-pub use system::{AccessKind, AccessOutcome, HitLevel, MemSystem};
+pub use system::{AccessKind, AccessOutcome, HitLevel, MemBus, MemPort, MemSystem};
 
 /// Simulation time, in core clock cycles.
 pub type Cycle = u64;

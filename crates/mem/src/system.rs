@@ -1,4 +1,26 @@
 //! The top-level memory system: per-core L1s, shared L2, DRAM.
+//!
+//! # Ports and the shared residue
+//!
+//! The system is split along the chip's natural ownership boundary:
+//!
+//! * [`MemPort`] — everything private to one core: its L1I/L1D tag
+//!   arrays, L1 MSHR files, stride prefetcher, prefetch-residency set,
+//!   its slice of the functional backing store, and its per-core
+//!   statistics. A port can be handed to a worker thread wholesale.
+//! * [`L2Shared`] (crate-private) — the residue every core contends on:
+//!   the shared L2 tags, the L2 MSHR file, the L2 port arbiter, DRAM,
+//!   and the L2/DRAM counters.
+//!
+//! Cores never touch either piece directly; they go through a
+//! [`MemBus`], a per-core handle that routes L1-local traffic to the
+//! port and escalates misses to the shared residue. In serial
+//! simulation the bus holds a plain `&mut` to the shared state
+//! ([`MemSystem::bus`]); in parallel simulation it holds a gated
+//! reference that blocks until the core's deterministic turn comes up
+//! (see [`crate::ParallelMem`]), so the shared structures observe the
+//! exact same access interleaving — ascending `(cycle, core)` — as a
+//! serial run.
 
 use std::collections::HashSet;
 
@@ -7,8 +29,9 @@ use sst_isa::SparseMem;
 use crate::cache::TagArray;
 use crate::dram::Dram;
 use crate::mshr::MshrFile;
+use crate::parallel::SharedHandle;
 use crate::prefetch::StridePrefetcher;
-use crate::stats::MemStats;
+use crate::stats::{CacheStats, MemStats};
 use crate::{Cycle, MemConfig};
 
 /// What an access is, for routing and statistics.
@@ -62,12 +85,331 @@ impl AccessOutcome {
     }
 }
 
-struct CoreCaches {
+/// One core's private side of the memory system: L1 caches, L1 MSHRs,
+/// prefetcher, prefetch-residency tracking, functional backing store,
+/// and per-core counters.
+///
+/// Ports are created by [`MemSystem::new`] and either used in place
+/// (serial simulation, through [`MemSystem::bus`]) or carved out with
+/// [`MemSystem::into_parallel`] and moved onto worker threads.
+pub struct MemPort {
+    mem: SparseMem,
     l1i: TagArray,
     l1d: TagArray,
     l1i_mshr: MshrFile,
     l1d_mshr: MshrFile,
     prefetcher: Option<StridePrefetcher>,
+    /// Blocks brought in by a prefetch and still resident in this L1D.
+    /// Cleared on eviction, so the set is bounded by L1D capacity and a
+    /// long-evicted prefetch is never credited as useful. Workload
+    /// address slots are disjoint across cores, so per-port tracking is
+    /// exact.
+    prefetched: HashSet<u64>,
+    l1i_stats: CacheStats,
+    l1d_stats: CacheStats,
+    prefetches: u64,
+    useful_prefetches: u64,
+}
+
+impl MemPort {
+    fn new(cfg: &MemConfig) -> MemPort {
+        MemPort {
+            mem: SparseMem::new(),
+            l1i: TagArray::new(&cfg.l1i),
+            l1d: TagArray::new(&cfg.l1d),
+            l1i_mshr: MshrFile::new(4),
+            l1d_mshr: MshrFile::new(cfg.l1d_mshrs),
+            prefetcher: cfg.prefetch.map(StridePrefetcher::new),
+            prefetched: HashSet::new(),
+            l1i_stats: CacheStats::default(),
+            l1d_stats: CacheStats::default(),
+            prefetches: 0,
+            useful_prefetches: 0,
+        }
+    }
+
+    /// Mutable access to the port's functional backing store (program
+    /// loading, test setup).
+    pub fn mem_mut(&mut self) -> &mut SparseMem {
+        &mut self.mem
+    }
+
+    fn note_useful_prefetch(&mut self, block: u64) {
+        if self.prefetched.remove(&block) {
+            self.useful_prefetches += 1;
+        }
+    }
+}
+
+/// The state every core contends on: shared L2 tags and MSHRs, the L2
+/// port arbiter, DRAM, and their counters. Only ever touched through a
+/// [`MemBus`], which serializes access in `(cycle, core)` order.
+pub(crate) struct L2Shared {
+    l2: TagArray,
+    l2_mshr: MshrFile,
+    l2_port_free_at: Cycle,
+    dram: Dram,
+    l2_stats: CacheStats,
+}
+
+impl L2Shared {
+    /// The shared L2 + DRAM portion of a miss that starts at `start`.
+    fn l2_walk(&mut self, cfg: &MemConfig, start: Cycle, write: bool, block: u64) -> (Cycle, HitLevel) {
+        // Shared L2 port arbitration.
+        let at_port = start.max(self.l2_port_free_at);
+        self.l2_port_free_at = at_port + cfg.l2_port_cycles;
+        let after_l2 = at_port + cfg.l2_latency;
+
+        self.l2_stats.accesses += 1;
+
+        // In-flight L2 fill?
+        if let Some((ready, _)) = self.l2_mshr.lookup(at_port, block) {
+            self.l2_mshr.note_merge();
+            self.l2.access(block, false);
+            return (ready.max(after_l2), HitLevel::Mem);
+        }
+
+        // Note: fills never mark L2 dirty — dirtiness reaches L2 only via
+        // L1 writebacks (write-back hierarchy).
+        if self.l2.access(block, false) {
+            self.l2_stats.hits += 1;
+            return (after_l2, HitLevel::L2);
+        }
+
+        // L2 miss: MSHR, then DRAM.
+        let slot = self.l2_mshr.earliest_slot(after_l2);
+        let dram_out = self.dram.read(slot, block);
+        let ready = dram_out.ready_at;
+        self.l2_mshr.insert(slot, block, ready, true);
+        if let Some(ev) = self.l2.fill(block, false) {
+            if ev.dirty {
+                self.l2_stats.writebacks += 1;
+                self.dram.writeback(slot, ev.addr);
+            }
+        }
+        let _ = write;
+        (ready, HitLevel::Mem)
+    }
+
+    /// An L1 dirty-victim writeback arriving at the L2 at `at`.
+    fn l1_writeback(&mut self, at: Cycle, victim: u64) {
+        // Write the dirty line into L2 (tag state only; the backing
+        // store is always current).
+        if let Some(l2_ev) = self.l2.fill(victim, true) {
+            if l2_ev.dirty {
+                self.l2_stats.writebacks += 1;
+                self.dram.writeback(at, l2_ev.addr);
+            }
+        }
+    }
+}
+
+/// A core's handle onto the memory system: its private [`MemPort`] plus
+/// a (possibly gated) reference to the shared L2/DRAM residue.
+///
+/// All timing and functional traffic from a core goes through its bus;
+/// the core index is implicit. In serial runs the bus is a zero-cost
+/// reborrow ([`MemSystem::bus`]); in parallel runs shared-state
+/// escalations first wait for the core's deterministic turn
+/// ([`crate::ParallelMem::bus`]).
+pub struct MemBus<'a> {
+    cfg: &'a MemConfig,
+    port: &'a mut MemPort,
+    shared: SharedHandle<'a>,
+}
+
+impl<'a> MemBus<'a> {
+    pub(crate) fn new(cfg: &'a MemConfig, port: &'a mut MemPort, shared: SharedHandle<'a>) -> MemBus<'a> {
+        MemBus { cfg, port, shared }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        self.cfg
+    }
+
+    /// Cache line size in bytes (uniform across levels).
+    pub fn line_bytes(&self) -> u64 {
+        self.cfg.l1d.line_bytes
+    }
+
+    // ---- functional data path ----------------------------------------------
+
+    /// The core's functional backing memory.
+    pub fn mem(&self) -> &SparseMem {
+        &self.port.mem
+    }
+
+    /// Functionally reads `bytes` little-endian bytes at `addr`.
+    pub fn read(&self, addr: u64, bytes: u64) -> u64 {
+        self.port.mem.read_le(addr, bytes)
+    }
+
+    /// Functionally writes the low `bytes` bytes of `val` at `addr`.
+    pub fn write(&mut self, addr: u64, bytes: u64, val: u64) {
+        self.port.mem.write_le(addr, bytes, val);
+    }
+
+    // ---- timing path -------------------------------------------------------
+
+    /// Performs the timing walk for one access and returns when it
+    /// completes.
+    ///
+    /// `pc` is used only to train the optional stride prefetcher (pass the
+    /// accessing instruction's PC; the value is irrelevant for fetches and
+    /// prefetches). Accesses are attributed to the line containing `addr`;
+    /// the rare line-straddling access is charged to its first line.
+    pub fn access(&mut self, now: Cycle, kind: AccessKind, addr: u64) -> AccessOutcome {
+        self.access_pc(now, kind, addr, 0)
+    }
+
+    /// Like [`MemBus::access`] but with the accessing PC for prefetcher
+    /// training.
+    pub fn access_pc(&mut self, now: Cycle, kind: AccessKind, addr: u64, pc: u64) -> AccessOutcome {
+        let outcome = self.demand_walk(now, kind, addr);
+
+        // Train the prefetcher on demand data accesses and issue its
+        // candidates as best-effort fills.
+        if matches!(kind, AccessKind::Load | AccessKind::Store) {
+            let candidates = match self.port.prefetcher.as_mut() {
+                Some(p) => p.train(pc, addr),
+                None => Vec::new(),
+            };
+            for cand in candidates {
+                self.issue_prefetch(now, cand);
+            }
+        }
+        outcome
+    }
+
+    fn demand_walk(&mut self, now: Cycle, kind: AccessKind, addr: u64) -> AccessOutcome {
+        let is_fetch = kind == AccessKind::IFetch;
+        let write = kind == AccessKind::Store;
+        let block = self.port.l1d.block_of(addr);
+
+        if kind == AccessKind::Prefetch {
+            self.issue_prefetch(now, addr);
+            return AccessOutcome {
+                ready_at: now,
+                level: HitLevel::L1,
+            };
+        }
+
+        let port = &mut *self.port;
+
+        // Stats: L1 lookup.
+        {
+            let s = if is_fetch { &mut port.l1i_stats } else { &mut port.l1d_stats };
+            s.accesses += 1;
+        }
+
+        // An in-flight fill for this block wins over the tag state (the tag
+        // is installed at issue; data arrives at the MSHR's ready cycle).
+        let mshr_hit = {
+            let mshr = if is_fetch { &mut port.l1i_mshr } else { &mut port.l1d_mshr };
+            mshr.lookup(now, block)
+        };
+        if let Some((ready, deep)) = mshr_hit {
+            let mshr = if is_fetch { &mut port.l1i_mshr } else { &mut port.l1d_mshr };
+            mshr.note_merge();
+            // Keep dirty/recency state coherent with the logical access.
+            let l1 = if is_fetch { &mut port.l1i } else { &mut port.l1d };
+            l1.access(addr, write);
+            port.note_useful_prefetch(block);
+            return AccessOutcome {
+                ready_at: ready.max(now + self.cfg.l1_latency),
+                level: if deep { HitLevel::Mem } else { HitLevel::L2 },
+            };
+        }
+
+        // L1 tag lookup.
+        let l1_hit = {
+            let l1 = if is_fetch { &mut port.l1i } else { &mut port.l1d };
+            l1.access(addr, write)
+        };
+        if l1_hit {
+            let s = if is_fetch { &mut port.l1i_stats } else { &mut port.l1d_stats };
+            s.hits += 1;
+            port.note_useful_prefetch(block);
+            return AccessOutcome {
+                ready_at: now + self.cfg.l1_latency,
+                level: HitLevel::L1,
+            };
+        }
+
+        // L1 miss: wait for an MSHR, then go to L2.
+        let after_lookup = now + self.cfg.l1_latency;
+        let start = {
+            let mshr = if is_fetch { &mut port.l1i_mshr } else { &mut port.l1d_mshr };
+            mshr.earliest_slot(after_lookup)
+        };
+
+        // Escalate into the shared residue: in parallel runs this blocks
+        // until every lower-id core has finished this cycle and every
+        // higher-id core has reached it, reproducing the serial
+        // interleaving exactly.
+        let mut sh = self.shared.acquire(now);
+        let (ready_at, level) = sh.l2_walk(self.cfg, start, write, block);
+
+        // Install the line in L1 and register the in-flight fill.
+        {
+            let l1 = if is_fetch { &mut port.l1i } else { &mut port.l1d };
+            let evicted = l1.fill(addr, write);
+            if let Some(ev) = evicted {
+                if !is_fetch {
+                    // A prefetched line leaving the L1D loses its tag: a
+                    // later demand to it is no longer a useful prefetch,
+                    // and the set stays bounded by the cache's capacity.
+                    port.prefetched.remove(&ev.addr);
+                }
+                if ev.dirty {
+                    let s = if is_fetch { &mut port.l1i_stats } else { &mut port.l1d_stats };
+                    s.writebacks += 1;
+                    sh.l1_writeback(start, ev.addr);
+                }
+            }
+            let mshr = if is_fetch { &mut port.l1i_mshr } else { &mut port.l1d_mshr };
+            // The register is claimed from the miss's start time (which
+            // earliest_slot() may have pushed past `now` when the file was
+            // full).
+            mshr.insert(start, block, ready_at, level == HitLevel::Mem);
+        }
+
+        AccessOutcome { ready_at, level }
+    }
+
+    /// Issues a best-effort prefetch of `addr`'s line.
+    fn issue_prefetch(&mut self, now: Cycle, addr: u64) {
+        let port = &mut *self.port;
+        let block = port.l1d.block_of(addr);
+        // Already cached or already in flight: nothing to do.
+        if port.l1d.probe(block) || port.l1d_mshr.lookup(now, block).is_some() {
+            return;
+        }
+        port.prefetches += 1;
+
+        // Prefetches do not steal demand MSHRs if the file is full.
+        let slot = {
+            let mshr = &mut port.l1d_mshr;
+            if mshr.in_flight(now) >= mshr.capacity() {
+                return; // drop: demand traffic saturates the file
+            }
+            now + self.cfg.l1_latency
+        };
+
+        let mut sh = self.shared.acquire(now);
+        let (ready_at, level) = sh.l2_walk(self.cfg, slot, false, block);
+        let evicted = port.l1d.fill(block, false);
+        if let Some(ev) = evicted {
+            port.prefetched.remove(&ev.addr);
+            if ev.dirty {
+                port.l1d_stats.writebacks += 1;
+                sh.l1_writeback(slot, ev.addr);
+            }
+        }
+        port.l1d_mshr.insert(now, block, ready_at, level == HitLevel::Mem);
+        port.prefetched.insert(block);
+    }
 }
 
 /// The complete memory system for `n` cores sharing an L2 and DRAM.
@@ -75,18 +417,9 @@ struct CoreCaches {
 /// See the [crate documentation](crate) for the modeling approach. All
 /// methods taking a `core` index panic if it is out of range.
 pub struct MemSystem {
-    cfg: MemConfig,
-    mem: SparseMem,
-    cores: Vec<CoreCaches>,
-    l2: TagArray,
-    l2_mshr: MshrFile,
-    l2_port_free_at: Cycle,
-    dram: Dram,
-    /// Blocks brought in by a prefetch and still resident in an L1D.
-    /// Cleared on eviction, so the set is bounded by L1D capacity and a
-    /// long-evicted prefetch is never credited as useful.
-    prefetched: HashSet<u64>,
-    stats: MemStats,
+    pub(crate) cfg: MemConfig,
+    pub(crate) ports: Vec<MemPort>,
+    pub(crate) shared: L2Shared,
 }
 
 impl MemSystem {
@@ -97,23 +430,16 @@ impl MemSystem {
     /// Panics if `cores` is zero or any cache geometry is inconsistent.
     pub fn new(cfg: &MemConfig, cores: usize) -> MemSystem {
         assert!(cores > 0, "need at least one core");
-        let mk_core = || CoreCaches {
-            l1i: TagArray::new(&cfg.l1i),
-            l1d: TagArray::new(&cfg.l1d),
-            l1i_mshr: MshrFile::new(4),
-            l1d_mshr: MshrFile::new(cfg.l1d_mshrs),
-            prefetcher: cfg.prefetch.map(StridePrefetcher::new),
-        };
         MemSystem {
             cfg: cfg.clone(),
-            mem: SparseMem::new(),
-            cores: (0..cores).map(|_| mk_core()).collect(),
-            l2: TagArray::new(&cfg.l2),
-            l2_mshr: MshrFile::new(cfg.l2_mshrs),
-            l2_port_free_at: 0,
-            dram: Dram::new(cfg.dram),
-            prefetched: HashSet::new(),
-            stats: MemStats::new(cores),
+            ports: (0..cores).map(|_| MemPort::new(cfg)).collect(),
+            shared: L2Shared {
+                l2: TagArray::new(&cfg.l2),
+                l2_mshr: MshrFile::new(cfg.l2_mshrs),
+                l2_port_free_at: 0,
+                dram: Dram::new(cfg.dram),
+                l2_stats: CacheStats::default(),
+            },
         }
     }
 
@@ -129,42 +455,58 @@ impl MemSystem {
 
     /// Number of cores this system serves.
     pub fn core_count(&self) -> usize {
-        self.cores.len()
+        self.ports.len()
+    }
+
+    /// A serial (ungated) bus for `core`: the view a core gets of its
+    /// private port plus direct access to the shared residue.
+    pub fn bus(&mut self, core: usize) -> MemBus<'_> {
+        MemBus {
+            cfg: &self.cfg,
+            port: &mut self.ports[core],
+            shared: SharedHandle::Direct(&mut self.shared),
+        }
     }
 
     // ---- functional data path ------------------------------------------------
 
-    /// The backing memory image.
+    /// The backing memory image of core 0 (single-core systems' program
+    /// and data live here).
     pub fn mem(&self) -> &SparseMem {
-        &self.mem
+        &self.ports[0].mem
     }
 
-    /// Mutable backing memory (program loading, test setup).
+    /// Mutable backing memory of core 0 (program loading, test setup).
     pub fn mem_mut(&mut self) -> &mut SparseMem {
-        &mut self.mem
+        &mut self.ports[0].mem
     }
 
-    /// Functionally reads `bytes` little-endian bytes at `addr`.
+    /// Mutable backing memory of `core`'s port. Multiprogrammed CMP
+    /// drivers load each slot's program through this; workload address
+    /// slots are disjoint, so splitting the image per port is exact.
+    pub fn port_mem_mut(&mut self, core: usize) -> &mut SparseMem {
+        &mut self.ports[core].mem
+    }
+
+    /// Functionally reads `bytes` little-endian bytes at `addr` from
+    /// core 0's image.
     pub fn read(&self, addr: u64, bytes: u64) -> u64 {
-        self.mem.read_le(addr, bytes)
+        self.ports[0].mem.read_le(addr, bytes)
     }
 
-    /// Functionally writes the low `bytes` bytes of `val` at `addr`.
+    /// Functionally writes the low `bytes` bytes of `val` at `addr` into
+    /// core 0's image.
     pub fn write(&mut self, addr: u64, bytes: u64, val: u64) {
-        self.mem.write_le(addr, bytes, val);
+        self.ports[0].mem.write_le(addr, bytes, val);
     }
 
     // ---- timing path -----------------------------------------------------------
 
-    /// Performs the timing walk for one access and returns when it
-    /// completes.
-    ///
-    /// `pc` is used only to train the optional stride prefetcher (pass the
-    /// accessing instruction's PC; the value is irrelevant for fetches and
-    /// prefetches). Accesses are attributed to the line containing `addr`;
-    /// the rare line-straddling access is charged to its first line.
+    /// Performs the timing walk for one access by `core` and returns when
+    /// it completes. Convenience form of [`MemBus::access`] for tests and
+    /// single-threaded callers.
     pub fn access(&mut self, now: Cycle, core: usize, kind: AccessKind, addr: u64) -> AccessOutcome {
-        self.access_pc(now, core, kind, addr, 0)
+        self.bus(core).access_pc(now, kind, addr, 0)
     }
 
     /// Like [`MemSystem::access`] but with the accessing PC for prefetcher
@@ -177,261 +519,35 @@ impl MemSystem {
         addr: u64,
         pc: u64,
     ) -> AccessOutcome {
-        let outcome = self.demand_walk(now, core, kind, addr);
-
-        // Train the prefetcher on demand data accesses and issue its
-        // candidates as best-effort fills.
-        if matches!(kind, AccessKind::Load | AccessKind::Store) {
-            let candidates = match self.cores[core].prefetcher.as_mut() {
-                Some(p) => p.train(pc, addr),
-                None => Vec::new(),
-            };
-            for cand in candidates {
-                self.issue_prefetch(now, core, cand);
-            }
-        }
-        outcome
-    }
-
-    fn demand_walk(&mut self, now: Cycle, core: usize, kind: AccessKind, addr: u64) -> AccessOutcome {
-        let is_fetch = kind == AccessKind::IFetch;
-        let write = kind == AccessKind::Store;
-        let block = self.cores[core].l1d.block_of(addr);
-
-        if kind == AccessKind::Prefetch {
-            self.issue_prefetch(now, core, addr);
-            return AccessOutcome {
-                ready_at: now,
-                level: HitLevel::L1,
-            };
-        }
-
-        // Stats: L1 lookup.
-        {
-            let s = if is_fetch {
-                &mut self.stats.l1i[core]
-            } else {
-                &mut self.stats.l1d[core]
-            };
-            s.accesses += 1;
-        }
-
-        // An in-flight fill for this block wins over the tag state (the tag
-        // is installed at issue; data arrives at the MSHR's ready cycle).
-        let mshr_hit = {
-            let mshr = if is_fetch {
-                &mut self.cores[core].l1i_mshr
-            } else {
-                &mut self.cores[core].l1d_mshr
-            };
-            mshr.lookup(now, block)
-        };
-        if let Some((ready, deep)) = mshr_hit {
-            let mshr = if is_fetch {
-                &mut self.cores[core].l1i_mshr
-            } else {
-                &mut self.cores[core].l1d_mshr
-            };
-            mshr.note_merge();
-            // Keep dirty/recency state coherent with the logical access.
-            let l1 = if is_fetch {
-                &mut self.cores[core].l1i
-            } else {
-                &mut self.cores[core].l1d
-            };
-            l1.access(addr, write);
-            self.note_useful_prefetch(block);
-            return AccessOutcome {
-                ready_at: ready.max(now + self.cfg.l1_latency),
-                level: if deep { HitLevel::Mem } else { HitLevel::L2 },
-            };
-        }
-
-        // L1 tag lookup.
-        let l1_hit = {
-            let l1 = if is_fetch {
-                &mut self.cores[core].l1i
-            } else {
-                &mut self.cores[core].l1d
-            };
-            l1.access(addr, write)
-        };
-        if l1_hit {
-            let s = if is_fetch {
-                &mut self.stats.l1i[core]
-            } else {
-                &mut self.stats.l1d[core]
-            };
-            s.hits += 1;
-            self.note_useful_prefetch(block);
-            return AccessOutcome {
-                ready_at: now + self.cfg.l1_latency,
-                level: HitLevel::L1,
-            };
-        }
-
-        // L1 miss: wait for an MSHR, then go to L2.
-        let after_lookup = now + self.cfg.l1_latency;
-        let start = {
-            let mshr = if is_fetch {
-                &mut self.cores[core].l1i_mshr
-            } else {
-                &mut self.cores[core].l1d_mshr
-            };
-            mshr.earliest_slot(after_lookup)
-        };
-
-        let (ready_at, level) = self.l2_walk(start, write, block);
-
-        // Install the line in L1 and register the in-flight fill.
-        {
-            let l1 = if is_fetch {
-                &mut self.cores[core].l1i
-            } else {
-                &mut self.cores[core].l1d
-            };
-            let evicted = l1.fill(addr, write);
-            if let Some(ev) = evicted {
-                if !is_fetch {
-                    // A prefetched line leaving the L1D loses its tag: a
-                    // later demand to it is no longer a useful prefetch,
-                    // and the set stays bounded by the cache's capacity.
-                    self.prefetched.remove(&ev.addr);
-                }
-                if ev.dirty {
-                    let s = if is_fetch {
-                        &mut self.stats.l1i[core]
-                    } else {
-                        &mut self.stats.l1d[core]
-                    };
-                    s.writebacks += 1;
-                    // Write the dirty line into L2 (tag state only; the
-                    // backing store is always current).
-                    if let Some(l2_ev) = self.l2.fill(ev.addr, true) {
-                        if l2_ev.dirty {
-                            self.stats.l2.writebacks += 1;
-                            self.dram.writeback(start, l2_ev.addr);
-                        }
-                    }
-                }
-            }
-            let mshr = if is_fetch {
-                &mut self.cores[core].l1i_mshr
-            } else {
-                &mut self.cores[core].l1d_mshr
-            };
-            // The register is claimed from the miss's start time (which
-            // earliest_slot() may have pushed past `now` when the file was
-            // full).
-            mshr.insert(start, block, ready_at, level == HitLevel::Mem);
-        }
-
-        AccessOutcome { ready_at, level }
-    }
-
-    /// The shared L2 + DRAM portion of a miss that starts at `start`.
-    fn l2_walk(&mut self, start: Cycle, write: bool, block: u64) -> (Cycle, HitLevel) {
-        // Shared L2 port arbitration.
-        let at_port = start.max(self.l2_port_free_at);
-        self.l2_port_free_at = at_port + self.cfg.l2_port_cycles;
-        let after_l2 = at_port + self.cfg.l2_latency;
-
-        self.stats.l2.accesses += 1;
-
-        // In-flight L2 fill?
-        if let Some((ready, _)) = self.l2_mshr.lookup(at_port, block) {
-            self.l2_mshr.note_merge();
-            self.l2.access(block, false);
-            return (ready.max(after_l2), HitLevel::Mem);
-        }
-
-        // Note: fills never mark L2 dirty — dirtiness reaches L2 only via
-        // L1 writebacks (write-back hierarchy).
-        if self.l2.access(block, false) {
-            self.stats.l2.hits += 1;
-            return (after_l2, HitLevel::L2);
-        }
-
-        // L2 miss: MSHR, then DRAM.
-        let slot = self.l2_mshr.earliest_slot(after_l2);
-        let dram_out = self.dram.read(slot, block);
-        let ready = dram_out.ready_at;
-        self.l2_mshr.insert(slot, block, ready, true);
-        if let Some(ev) = self.l2.fill(block, false) {
-            if ev.dirty {
-                self.stats.l2.writebacks += 1;
-                self.dram.writeback(slot, ev.addr);
-            }
-        }
-        let _ = write;
-        (ready, HitLevel::Mem)
-    }
-
-    /// Issues a best-effort prefetch of `addr`'s line for `core`.
-    fn issue_prefetch(&mut self, now: Cycle, core: usize, addr: u64) {
-        let block = self.cores[core].l1d.block_of(addr);
-        // Already cached or already in flight: nothing to do.
-        if self.cores[core].l1d.probe(block)
-            || self.cores[core].l1d_mshr.lookup(now, block).is_some()
-        {
-            return;
-        }
-        self.stats.prefetches += 1;
-
-        // Prefetches do not steal demand MSHRs if the file is full.
-        let slot = {
-            let mshr = &mut self.cores[core].l1d_mshr;
-            if mshr.in_flight(now) >= mshr.capacity() {
-                return; // drop: demand traffic saturates the file
-            }
-            now + self.cfg.l1_latency
-        };
-
-        let (ready_at, level) = self.l2_walk(slot, false, block);
-        let evicted = self.cores[core].l1d.fill(block, false);
-        if let Some(ev) = evicted {
-            self.prefetched.remove(&ev.addr);
-            if ev.dirty {
-                self.stats.l1d[core].writebacks += 1;
-                if let Some(l2_ev) = self.l2.fill(ev.addr, true) {
-                    if l2_ev.dirty {
-                        self.stats.l2.writebacks += 1;
-                        self.dram.writeback(slot, l2_ev.addr);
-                    }
-                }
-            }
-        }
-        self.cores[core]
-            .l1d_mshr
-            .insert(now, block, ready_at, level == HitLevel::Mem);
-        self.prefetched.insert(block);
-    }
-
-    fn note_useful_prefetch(&mut self, block: u64) {
-        if self.prefetched.remove(&block) {
-            self.stats.useful_prefetches += 1;
-        }
+        self.bus(core).access_pc(now, kind, addr, pc)
     }
 
     // ---- statistics -----------------------------------------------------------
 
     /// A snapshot of all statistics, folding in per-structure counters.
     pub fn stats(&self) -> MemStats {
-        let mut s = self.stats.clone();
-        s.dram_reads = self.dram.accesses;
-        s.dram_row_hits = self.dram.row_hits;
-        s.dram_writebacks = self.dram.writebacks;
-        s.mshr_merges = self.l2_mshr.merged
+        let mut s = MemStats::new(self.ports.len());
+        for (i, p) in self.ports.iter().enumerate() {
+            s.l1i[i] = p.l1i_stats;
+            s.l1d[i] = p.l1d_stats;
+            s.prefetches += p.prefetches;
+            s.useful_prefetches += p.useful_prefetches;
+        }
+        s.l2 = self.shared.l2_stats;
+        s.dram_reads = self.shared.dram.accesses;
+        s.dram_row_hits = self.shared.dram.row_hits;
+        s.dram_writebacks = self.shared.dram.writebacks;
+        s.mshr_merges = self.shared.l2_mshr.merged
             + self
-                .cores
+                .ports
                 .iter()
-                .map(|c| c.l1d_mshr.merged + c.l1i_mshr.merged)
+                .map(|p| p.l1d_mshr.merged + p.l1i_mshr.merged)
                 .sum::<u64>();
-        s.mshr_full_delays = self.l2_mshr.full_stalls
+        s.mshr_full_delays = self.shared.l2_mshr.full_stalls
             + self
-                .cores
+                .ports
                 .iter()
-                .map(|c| c.l1d_mshr.full_stalls + c.l1i_mshr.full_stalls)
+                .map(|p| p.l1d_mshr.full_stalls + p.l1i_mshr.full_stalls)
                 .sum::<u64>();
         s
     }
@@ -633,5 +749,20 @@ mod tests {
         assert_eq!(ms.read(0xf000, 8), 0x1234);
         // No timing access happened.
         assert_eq!(ms.stats().l1d[0].accesses, 0);
+    }
+
+    #[test]
+    fn bus_and_system_access_agree() {
+        // The MemBus form and the MemSystem convenience form are the same
+        // walk: interleaving them must behave like one serial stream.
+        let mut ms = MemSystem::new(&MemConfig::default(), 2);
+        let a = ms.bus(0).access(0, AccessKind::Load, 0x4000);
+        let b = ms.access(a.ready_at + 1, 1, AccessKind::Load, 0x4000);
+        assert_eq!(a.level, HitLevel::Mem);
+        assert_eq!(b.level, HitLevel::L2, "L2 is shared across ports");
+        // Functional state is per-port.
+        ms.bus(1).write(0x100, 8, 77);
+        assert_eq!(ms.bus(1).read(0x100, 8), 77);
+        assert_eq!(ms.bus(0).read(0x100, 8), 0, "port images are disjoint");
     }
 }

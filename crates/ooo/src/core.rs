@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use sst_isa::{Inst, Program, Reg};
-use sst_mem::{AccessKind, Cycle, MemSystem};
+use sst_mem::{AccessKind, Cycle, MemBus};
 use sst_uarch::{
     execute, extend_load, mem_addr, Commit, Core, ExecLatency, Frontend, FrontendConfig, Seq,
 };
@@ -216,7 +216,7 @@ pub struct OooCore {
 
 impl OooCore {
     /// Creates a core with index `id` starting at `program.entry`. The
-    /// caller loads the program image into the shared [`MemSystem`].
+    /// caller loads the program image into the core's memory port.
     pub fn new(cfg: OooConfig, id: usize, program: &Program) -> OooCore {
         let phys_count = 64 + cfg.rob_entries;
         let mut free: Vec<usize> = (64..phys_count).rev().collect();
@@ -285,7 +285,7 @@ impl OooCore {
     /// shadow registers at zero timing cost, and their memory references
     /// become prefetches. Without it the OoO baseline would be unfairly
     /// denied a real machine's wrong-path prefetching.
-    fn phantom_walk(&mut self, now: Cycle, mem: &mut MemSystem) {
+    fn phantom_walk(&mut self, now: Cycle, mem: &mut MemBus) {
         /// A wrong-path load slower than this poisons its consumers: its
         /// data would not return before the mispredicted branch resolves.
         const POISON_LATENCY: u64 = 30;
@@ -325,7 +325,7 @@ impl OooCore {
                         continue;
                     }
                     let addr = mem_addr(inst, s1);
-                    let out = mem.access_pc(now, self.id, AccessKind::Prefetch, addr, f.pc);
+                    let out = mem.access_pc(now, AccessKind::Prefetch, addr, f.pc);
                     self.stats.wrong_path_prefetches += 1;
                     if out.level == sst_mem::HitLevel::Mem && out.latency(now) > POISON_LATENCY {
                         if !rd.is_zero() {
@@ -342,7 +342,7 @@ impl OooCore {
                         continue; // address unknown on the real wrong path
                     }
                     let addr = mem_addr(inst, s1);
-                    mem.access_pc(now, self.id, AccessKind::Prefetch, addr, f.pc);
+                    mem.access_pc(now, AccessKind::Prefetch, addr, f.pc);
                     self.stats.wrong_path_prefetches += 1;
                 }
                 _ => {
@@ -358,7 +358,7 @@ impl OooCore {
         }
     }
 
-    fn rename(&mut self, now: Cycle, mem: &mut MemSystem) {
+    fn rename(&mut self, now: Cycle, mem: &mut MemBus) {
         if self.fetch_blocked_on.is_some() {
             self.stats.stall_branch_resolve += 1;
             self.phantom_walk(now, mem);
@@ -497,7 +497,7 @@ impl OooCore {
     /// The architectural bytes a load at `seq` reads: backing memory
     /// overlaid, in program order, with older in-flight (uncommitted)
     /// stores — whose values are known functionally at rename.
-    fn read_through_sq(&self, mem: &MemSystem, seq: Seq, addr: u64, bytes: u64) -> u64 {
+    fn read_through_sq(&self, mem: &MemBus, seq: Seq, addr: u64, bytes: u64) -> u64 {
         let mut buf = mem.mem().read_le(addr, bytes).to_le_bytes();
         // `self.rob` does not yet contain `seq` (called from rename), and
         // entries are program-ordered, so a simple forward walk applies
@@ -535,7 +535,7 @@ impl OooCore {
 
     // ------------------------------------------------------------- issue
 
-    fn issue(&mut self, now: Cycle, mem: &mut MemSystem) {
+    fn issue(&mut self, now: Cycle, mem: &mut MemBus) {
         let mut issued = 0;
         let mut mem_ops = 0;
         let mut squash_at: Option<(Seq, u64)> = None;
@@ -584,7 +584,7 @@ impl OooCore {
                             } else {
                                 AccessKind::Load
                             };
-                            let out = mem.access_pc(now, self.id, kind, addr, self.rob[idx].pc);
+                            let out = mem.access_pc(now, kind, addr, self.rob[idx].pc);
                             out.ready_at.max(now + 1)
                         }
                     }
@@ -798,7 +798,7 @@ impl OooCore {
 
     // ------------------------------------------------------------- commit
 
-    fn commit(&mut self, now: Cycle, mem: &mut MemSystem) {
+    fn commit(&mut self, now: Cycle, mem: &mut MemBus) {
         for _ in 0..self.cfg.commit_width {
             let Some(head) = self.rob.front() else {
                 break;
@@ -817,7 +817,7 @@ impl OooCore {
             }
             let mut store = None;
             if let Some((addr, bytes, true, value)) = e.mem {
-                mem.access(now, self.id, AccessKind::Store, addr);
+                mem.access(now, AccessKind::Store, addr);
                 mem.write(addr, bytes, value);
                 store = Some((addr, bytes, value));
             }
@@ -851,14 +851,14 @@ enum ForwardState {
 }
 
 impl Core for OooCore {
-    fn tick(&mut self, mem: &mut MemSystem) {
+    fn tick(&mut self, mem: &mut MemBus) {
         let now = self.cycle;
         self.cycle += 1;
         if self.halted {
             return;
         }
         debug_assert!(self.counts_consistent());
-        self.frontend.tick(now, mem, self.id);
+        self.frontend.tick(now, mem);
         self.commit(now, mem);
         self.issue(now, mem);
         self.rename(now, mem);

@@ -18,7 +18,7 @@ fn cosim(cfg: OooConfig, build: &dyn Fn(&mut Asm), max_cycles: u64) -> OooCore {
     let mut interp = Interp::new(&p);
     let mut checked = 0u64;
     while !core.halted() && core.cycle() < max_cycles {
-        core.tick(&mut mem);
+        core.tick(&mut mem.bus(0));
         for c in core.drain_commits() {
             let ev = interp.step().expect("interp ok");
             checked += 1;
@@ -186,7 +186,7 @@ fn ooo_overlaps_independent_misses_better_than_window_allows_dependent() {
     p.load_into(mem.mem_mut());
     let mut core = OooCore::new(OooConfig::ooo_64(), 0, &p);
     while !core.halted() && core.cycle() < 10_000_000 {
-        core.tick(&mut mem);
+        core.tick(&mut mem.bus(0));
     }
     assert!(core.halted());
     assert!(core.stats.issued > 0);

@@ -13,7 +13,7 @@ fn run(p: &Program) -> (OooCore, MemSystem) {
     p.load_into(mem.mem_mut());
     let mut core = OooCore::new(OooConfig::ooo_64(), 0, p);
     while !core.halted() && core.cycle() < 100_000_000 {
-        core.tick(&mut mem);
+        core.tick(&mut mem.bus(0));
         core.drain_commits();
     }
     assert!(core.halted());

@@ -150,7 +150,7 @@ impl System {
                     ),
                 });
             }
-            self.core.tick(&mut self.mem);
+            self.core.tick(&mut self.mem.bus(0));
             self.core.drain_commits_into(&mut commits);
             for c in commits.drain(..) {
                 if let Some(ck) = self.checker.as_mut() {

@@ -1,0 +1,103 @@
+//! Thread-count equivalence suite.
+//!
+//! The parallel CMP driver must be invisible in every architected
+//! result: for each core model and workload mix, runs at `--threads`
+//! 1, 2, and 8 must produce byte-identical `CmpResult`s — per-core
+//! cycles and instruction counts, the makespan, and the full shared
+//! memory statistics — with idle-cycle fast-forwarding both enabled
+//! and disabled. This is the same invariant the fast-forward suite
+//! established for skipping, extended across the thread axis: thread
+//! count is a wall-clock knob, never a model input.
+//!
+//! Two mixes per model: a heterogeneous four-slot mix and a
+//! memory-bound homogeneous `erp` chip (maximal shared-L2 contention,
+//! therefore maximal cross-thread arbitration traffic).
+
+use sst_mem::MemConfig;
+use sst_sim::{CmpSystem, CoreModel};
+use sst_workloads::Scale;
+
+const MAX_CYCLES: u64 = 400_000_000;
+const THREADS: [usize; 2] = [2, 8];
+
+fn build(model: &CoreModel, mix: &[&str]) -> CmpSystem {
+    CmpSystem::mix(model.clone(), mix, Scale::Smoke, 7, &MemConfig::default())
+}
+
+fn assert_thread_invariant(model: CoreModel, mix: &[&str]) {
+    let label = model.label();
+    for fast_forward in [true, false] {
+        let ff = |s: CmpSystem| {
+            if fast_forward {
+                s
+            } else {
+                s.without_fast_forward()
+            }
+        };
+        let serial = ff(build(&model, mix)).run(MAX_CYCLES);
+        for threads in THREADS {
+            let parallel = ff(build(&model, mix)).with_threads(threads).run(MAX_CYCLES);
+            assert_eq!(
+                serial, parallel,
+                "{label} on {mix:?}: threads={threads} fast_forward={fast_forward} \
+                 diverged from the serial run"
+            );
+        }
+    }
+}
+
+/// The five pipeline architectures of the study (the bench lineup):
+/// in-order, scout, execute-ahead, SST, and the large out-of-order.
+fn models() -> Vec<CoreModel> {
+    vec![
+        CoreModel::InOrder,
+        CoreModel::Scout,
+        CoreModel::ExecuteAhead,
+        CoreModel::Sst,
+        CoreModel::Ooo128,
+    ]
+}
+
+const HETERO_MIX: [&str; 4] = ["gzip", "erp", "oltp", "gzip"];
+const ERP_CHIP: [&str; 4] = ["erp", "erp", "erp", "erp"];
+
+#[test]
+fn inorder_matches_across_thread_counts() {
+    assert_thread_invariant(CoreModel::InOrder, &HETERO_MIX);
+    assert_thread_invariant(CoreModel::InOrder, &ERP_CHIP);
+}
+
+#[test]
+fn scout_matches_across_thread_counts() {
+    assert_thread_invariant(CoreModel::Scout, &HETERO_MIX);
+    assert_thread_invariant(CoreModel::Scout, &ERP_CHIP);
+}
+
+#[test]
+fn execute_ahead_matches_across_thread_counts() {
+    assert_thread_invariant(CoreModel::ExecuteAhead, &HETERO_MIX);
+    assert_thread_invariant(CoreModel::ExecuteAhead, &ERP_CHIP);
+}
+
+#[test]
+fn sst_matches_across_thread_counts() {
+    assert_thread_invariant(CoreModel::Sst, &HETERO_MIX);
+    assert_thread_invariant(CoreModel::Sst, &ERP_CHIP);
+}
+
+#[test]
+fn ooo128_matches_across_thread_counts() {
+    assert_thread_invariant(CoreModel::Ooo128, &HETERO_MIX);
+    assert_thread_invariant(CoreModel::Ooo128, &ERP_CHIP);
+}
+
+/// More worker threads than cores degenerates to one core per chunk;
+/// still identical.
+#[test]
+fn more_threads_than_cores_is_fine() {
+    for m in models() {
+        let serial = build(&m, &["gzip", "erp"]).run(MAX_CYCLES);
+        let over = build(&m, &["gzip", "erp"]).with_threads(8).run(MAX_CYCLES);
+        assert_eq!(serial, over, "{}", m.label());
+    }
+}

@@ -2,7 +2,7 @@
 //! used for co-simulation against the functional golden model.
 
 use sst_isa::{Inst, Reg};
-use sst_mem::{Cycle, MemSystem};
+use sst_mem::{Cycle, MemBus};
 
 use crate::Seq;
 
@@ -31,12 +31,17 @@ pub struct Commit {
 
 /// A cycle-level core model.
 ///
-/// The simulation driver owns the [`MemSystem`] and advances each core one
-/// cycle at a time; cores keep their own cycle counters (all cores in a
-/// system share the same clock, so drivers tick them in lockstep).
-pub trait Core {
-    /// Advances the core by one clock cycle.
-    fn tick(&mut self, mem: &mut MemSystem);
+/// The simulation driver owns the memory system and advances each core
+/// one cycle at a time, handing it a per-core [`MemBus`] (its private
+/// port plus shared-residue access); cores keep their own cycle counters
+/// (all cores in a system share the same clock, so drivers tick them in
+/// lockstep). Cores are `Send` so CMP drivers can tick them from worker
+/// threads; the bus's gating keeps parallel results byte-identical to
+/// serial ones.
+pub trait Core: Send {
+    /// Advances the core by one clock cycle, issuing its memory traffic
+    /// through `mem`.
+    fn tick(&mut self, mem: &mut MemBus);
 
     /// Cycles elapsed so far.
     fn cycle(&self) -> Cycle;

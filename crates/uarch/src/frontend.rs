@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 
 use sst_branch::{BranchKind, BranchUnit, Prediction, PredictorKind};
 use sst_isa::{decode, Inst, Reg, INST_BYTES};
-use sst_mem::{AccessKind, Cycle, MemSystem};
+use sst_mem::{AccessKind, Cycle, MemBus};
 
 /// Frontend configuration.
 #[derive(Clone, Copy, Debug)]
@@ -165,8 +165,9 @@ impl Frontend {
         self.queue.pop_front()
     }
 
-    /// Fetches up to `width` instructions this cycle.
-    pub fn tick(&mut self, now: Cycle, mem: &mut MemSystem, core: usize) {
+    /// Fetches up to `width` instructions this cycle, through the core's
+    /// memory bus.
+    pub fn tick(&mut self, now: Cycle, mem: &mut MemBus) {
         if now < self.stalled_until {
             self.icache_stall_cycles += 1;
             return;
@@ -184,7 +185,7 @@ impl Frontend {
             let pc = self.fetch_pc;
             let line = pc & !(line_bytes - 1);
             if line_done != Some(line) {
-                let out = mem.access(now, core, AccessKind::IFetch, pc);
+                let out = mem.access(now, AccessKind::IFetch, pc);
                 if out.ready_at > now + mem.config().l1_latency {
                     // I-cache miss: resume when the line arrives.
                     self.stalled_until = out.ready_at;
@@ -312,7 +313,7 @@ impl Frontend {
 mod tests {
     use super::*;
     use sst_isa::{Asm, Reg};
-    use sst_mem::MemConfig;
+    use sst_mem::{MemConfig, MemSystem};
 
     fn setup(asm: impl FnOnce(&mut Asm)) -> (Frontend, MemSystem) {
         let mut a = Asm::new();
@@ -328,7 +329,7 @@ mod tests {
     fn run_until(fe: &mut Frontend, ms: &mut MemSystem, n: usize, max: u64) -> u64 {
         let mut now = 0;
         while fe.queued() < n && now < max {
-            fe.tick(now, ms, 0);
+            fe.tick(now, &mut ms.bus(0));
             now += 1;
         }
         now
@@ -356,7 +357,7 @@ mod tests {
             a.nop();
             a.halt();
         });
-        fe.tick(0, &mut ms, 0);
+        fe.tick(0, &mut ms.bus(0));
         assert_eq!(fe.queued(), 0, "cold I$ miss produces nothing");
         let cycles = run_until(&mut fe, &mut ms, 1, 10_000);
         assert!(cycles > 100, "stalled for the memory round trip");
@@ -388,7 +389,7 @@ mod tests {
         run_until(&mut fe, &mut ms, 1, 10_000);
         let before = fe.fetched_insts;
         for now in 10_000..10_100 {
-            fe.tick(now, &mut ms, 0);
+            fe.tick(now, &mut ms.bus(0));
         }
         assert_eq!(fe.fetched_insts, before, "no fetch past halt");
     }
@@ -425,11 +426,11 @@ mod tests {
         fe.redirect(10_000, restart);
         assert_eq!(fe.queued(), 0);
         // Nothing fetched during the penalty window.
-        fe.tick(10_001, &mut ms, 0);
+        fe.tick(10_001, &mut ms.bus(0));
         assert_eq!(fe.queued(), 0);
         let mut now = 10_000;
         while fe.queued() == 0 && now < 11_000 {
-            fe.tick(now, &mut ms, 0);
+            fe.tick(now, &mut ms.bus(0));
             now += 1;
         }
         assert!(now - 10_000 >= FrontendConfig::default().redirect_penalty);
@@ -455,7 +456,7 @@ mod tests {
         fe.redirect(20_000, b.pc);
         let mut now = 20_000;
         while fe.queued() < 2 && now < 30_000 {
-            fe.tick(now, &mut ms, 0);
+            fe.tick(now, &mut ms.bus(0));
             now += 1;
         }
         let b2 = fe.pop().unwrap();

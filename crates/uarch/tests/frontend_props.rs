@@ -35,7 +35,7 @@ fn warm_setup(n_nops: usize, width: usize, depth: usize) -> (Frontend, MemSystem
     // flushing back to the entry.
     let mut now = 0;
     while fe.queued() == 0 && now < 100_000 {
-        fe.tick(now, &mut ms, 0);
+        fe.tick(now, &mut ms.bus(0));
         now += 1;
     }
     fe.redirect(now, p.entry);
@@ -44,7 +44,7 @@ fn warm_setup(n_nops: usize, width: usize, depth: usize) -> (Frontend, MemSystem
         if fe.queued() > 0 {
             break;
         }
-        fe.tick(t, &mut ms, 0);
+        fe.tick(t, &mut ms.bus(0));
     }
     (fe, ms)
 }
@@ -61,7 +61,7 @@ fn fetch_respects_width() {
         while fe.pop().is_some() {}
         let t = 1_000_000; // far past any stall
         let before = fe.queued();
-        fe.tick(t, &mut ms, 0);
+        fe.tick(t, &mut ms.bus(0));
         let after = fe.queued();
         assert!(after - before <= width, "fetched {} > width {width}", after - before);
     }
@@ -76,7 +76,7 @@ fn queue_depth_is_respected() {
         let nops = r.gen_range(64..200usize);
         let (mut fe, mut ms) = warm_setup(nops, 4, depth);
         for t in 0..5_000u64 {
-            fe.tick(1_000_000 + t, &mut ms, 0);
+            fe.tick(1_000_000 + t, &mut ms.bus(0));
             assert!(fe.queued() <= depth);
         }
     }
@@ -93,7 +93,7 @@ fn straight_line_pcs_are_consecutive() {
         let mut fetched = Vec::new();
         let mut t = 1_000_000u64;
         while fetched.len() < nops.min(20) && t < 1_100_000 {
-            fe.tick(t, &mut ms, 0);
+            fe.tick(t, &mut ms.bus(0));
             while let Some(f) = fe.pop() {
                 fetched.push(f.pc);
             }
@@ -122,7 +122,7 @@ fn redirect_lands_on_target() {
         fe.redirect(2_000_000, target);
         let mut t = 2_000_000u64;
         while fe.queued() == 0 && t < 2_100_000 {
-            fe.tick(t, &mut ms, 0);
+            fe.tick(t, &mut ms.bus(0));
             t += 1;
         }
         let first = fe.pop().expect("fetch resumed");

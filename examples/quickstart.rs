@@ -71,7 +71,7 @@ fn main() {
     let mut checker = RetireChecker::new(&program);
 
     while !core.halted() {
-        core.tick(&mut mem);
+        core.tick(&mut mem.bus(0));
         for c in core.drain_commits() {
             checker.check(&c).expect("co-simulation clean");
         }

@@ -197,7 +197,7 @@ fn e12_shape_failures() {
         w.program.load_into(mem.mem_mut());
         let mut core = SstCore::new(SstConfig::sst(), 0, &w.program);
         while !core.halted() && core.cycle() < MAX {
-            core.tick(&mut mem);
+            core.tick(&mut mem.bus(0));
         }
         assert!(core.halted());
         core.stats
