@@ -1268,6 +1268,16 @@ impl Core for SstCore {
         self.cycle = target;
     }
 
+    fn gate_to(&mut self, target: Cycle) {
+        if target <= self.cycle {
+            return;
+        }
+        self.cycle = target;
+        // Gated time is intentional idleness, not a wedge: restart the
+        // watchdog window at the resume cycle.
+        self.last_progress = target;
+    }
+
     fn core_id(&self) -> usize {
         self.id
     }

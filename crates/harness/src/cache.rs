@@ -14,6 +14,7 @@ use std::path::{Path, PathBuf};
 
 use sst_mem::{CacheStats, MemStats};
 use sst_sim::{CmpResult, RunResult};
+use sst_traffic::{LatencyHistogram, TrafficResult};
 
 use crate::job::JobOutput;
 
@@ -124,6 +125,38 @@ fn serialize(key: &str, out: &JobOutput) -> String {
             s.push_str("kind=cmp\n");
             s.push_str(&format!("model={}\n", r.model));
             s.push_str(&format!("cycles={}\n", r.cycles));
+            s.push_str(&format!(
+                "per_core={}\n",
+                r.per_core
+                    .iter()
+                    .map(|(c, i)| format!("{c}:{i}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+            write_mem(&mut s, &r.mem);
+        }
+        JobOutput::Traffic(r) => {
+            s.push_str("kind=traffic\n");
+            s.push_str(&format!("model={}\n", r.model));
+            s.push_str(&format!("workload={}\n", r.workload));
+            s.push_str(&format!("cores={}\n", r.cores));
+            s.push_str(&format!("load_permille={}\n", r.load_permille));
+            s.push_str(&format!("mean_interarrival={}\n", r.mean_interarrival));
+            s.push_str(&format!("cycles={}\n", r.cycles));
+            s.push_str(&format!("offered={}\n", r.offered));
+            s.push_str(&format!("completed={}\n", r.completed));
+            s.push_str(&format!("shed={}\n", r.shed));
+            s.push_str(&format!("hist.precision={}\n", r.hist.precision()));
+            s.push_str(&format!("hist.max_value={}\n", r.hist.max_value()));
+            s.push_str(&format!("hist.saturated={}\n", r.hist.saturated()));
+            s.push_str(&format!(
+                "hist.buckets={}\n",
+                r.hist
+                    .nonzero_buckets()
+                    .map(|(i, c)| format!("{i}:{c}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
             s.push_str(&format!(
                 "per_core={}\n",
                 r.per_core
@@ -278,6 +311,38 @@ fn deserialize(body: &str, expected_key: &str) -> Option<JobOutput> {
                 mem: f.mem()?,
             }))
         }
+        "traffic" => {
+            let per_core = f
+                .pair_list("per_core")?
+                .into_iter()
+                .map(|(c, i)| Some((c.parse().ok()?, i)))
+                .collect::<Option<Vec<(u64, u64)>>>()?;
+            let buckets = f
+                .pair_list("hist.buckets")?
+                .into_iter()
+                .map(|(i, c)| Some((i.parse().ok()?, c)))
+                .collect::<Option<Vec<(usize, u64)>>>()?;
+            let hist = LatencyHistogram::try_from_parts(
+                f.u64("hist.precision")? as u32,
+                f.u64("hist.max_value")?,
+                buckets,
+                f.u64("hist.saturated")?,
+            )?;
+            Some(JobOutput::Traffic(TrafficResult {
+                model: f.get("model")?.to_string(),
+                workload: f.get("workload")?.to_string(),
+                cores: f.u64("cores")? as usize,
+                load_permille: f.u64("load_permille")? as u32,
+                mean_interarrival: f.u64("mean_interarrival")?,
+                cycles: f.u64("cycles")?,
+                offered: f.u64("offered")?,
+                completed: f.u64("completed")?,
+                shed: f.u64("shed")?,
+                hist,
+                per_core,
+                mem: f.mem()?,
+            }))
+        }
         _ => None,
     }
 }
@@ -362,6 +427,32 @@ mod tests {
         // Decoding tolerates stray escapes it did not produce.
         assert_eq!(unescape("%zz"), "%zz");
         assert_eq!(unescape("tail%"), "tail%");
+    }
+
+    #[test]
+    fn traffic_round_trips_exactly() {
+        use sst_sim::CoreModel;
+        use sst_traffic::{run_traffic, Policy, TrafficSpec};
+        let spec = TrafficSpec {
+            model: CoreModel::InOrder,
+            workload: "oltp".into(),
+            cores: 2,
+            load_permille: 200,
+            txns_per_request: 2,
+            requests: 24,
+            warmup: 4,
+            admission_cap: 16,
+            lane_cap: 4,
+            quantum: 256,
+            policy: Policy::LeastLoaded,
+        };
+        let r = run_traffic(&spec, Scale::Smoke, 3, 1, 1_000_000_000);
+        let out = JobOutput::Traffic(r.clone());
+        let dir = tmp_dir("traffic");
+        store(&dir, 55, "traffic-key", &out).unwrap();
+        let back = load(&dir, 55, "traffic-key").expect("hit");
+        assert_eq!(back.traffic(), &r, "lossless round-trip incl. histogram");
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -18,8 +18,9 @@ Runs the study's experiments on a parallel, cached, fault-isolated
 worker pool and writes tables to results/.
 
 experiments:
-  all            every experiment (E1-E12, A1-A4)
+  all            every experiment (E1-E12, E14, A1-A4)
   e1 .. e12      the paper reproductions
+  e14            open-loop service traffic: tail latency vs offered load
   a1 .. a4       the ablations
   (legacy binary names like e4_vs_ooo are accepted)
 
@@ -43,6 +44,30 @@ environment:
 
 exit status: 0 when every job succeeded, 1 otherwise.";
 
+/// `--list`: experiments grouped by family, one line each.
+fn print_list() {
+    let headers = [
+        ("paper", "paper reproductions"),
+        ("ablation", "ablations"),
+        ("traffic", "service traffic (open-loop load sweeps)"),
+    ];
+    let all = registry::all();
+    for (family, label) in headers {
+        let members: Vec<_> = all
+            .iter()
+            .filter(|e| !e.hidden && e.family == family)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        println!("{label}:");
+        for e in members {
+            println!("  {:<4} {}", e.id, e.title);
+        }
+        println!();
+    }
+}
+
 /// Parses `args` (without the program name) and runs. Returns the
 /// process exit code.
 pub fn cli_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
@@ -61,9 +86,7 @@ pub fn cli_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
                 return 0;
             }
             "--list" => {
-                for e in registry::all().iter().filter(|e| !e.hidden) {
-                    println!("{:<4} {}", e.id, e.title);
-                }
+                print_list();
                 return 0;
             }
             "--no-cache" => cfg.use_cache = false,

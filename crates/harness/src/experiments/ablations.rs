@@ -47,6 +47,7 @@ pub(super) fn a1() -> Experiment {
     }
     Experiment {
         id: "a1",
+        family: "ablation",
         title: "ablation: defer threshold",
         paper_note: "a knee between the L2 hit latency (~20) and the DRAM latency (~340); beyond it SST degrades toward in-order",
         hidden: false,
@@ -91,6 +92,7 @@ pub(super) fn a2() -> Experiment {
     }
     Experiment {
         id: "a2",
+        family: "ablation",
         title: "ablation: replay bypass-stall window",
         paper_note: "a shallow optimum near the ALU-latency scale (a few cycles)",
         hidden: false,
@@ -145,6 +147,7 @@ pub(super) fn a3() -> Experiment {
     }
     Experiment {
         id: "a3",
+        family: "ablation",
         title: "ablation: confidence-gated deferral",
         paper_note: "the gate removes most deferred-branch rollbacks but costs run-ahead coverage; net effect is workload-dependent",
         hidden: false,
@@ -218,6 +221,7 @@ pub(super) fn a4() -> Experiment {
     }
     Experiment {
         id: "a4",
+        family: "ablation",
         title: "ablation: stride prefetcher vs speculation",
         paper_note: "the prefetcher rescues regular streams for in-order but not the pointer-chasing commercial suite; SST + prefetcher compose",
         hidden: false,

@@ -111,6 +111,7 @@ pub(super) fn e1() -> Experiment {
     }
     Experiment {
         id: "e1",
+        family: "paper",
         title: "machine configurations (Table 1)",
         paper_note: "reconstructed configuration table: in-order / scout / EA / SST / OoO lineup",
         hidden: false,
@@ -170,6 +171,7 @@ pub(super) fn e2() -> Experiment {
     }
     Experiment {
         id: "e2",
+        family: "paper",
         title: "workload characterization (Table 2)",
         paper_note: "commercial suite: high L2 MPKI + dependent loads; spec-fp: streaming; micro: MLP extremes",
         hidden: false,
@@ -244,6 +246,7 @@ pub(super) fn e3() -> Experiment {
     }
     Experiment {
         id: "e3",
+        family: "paper",
         title: "speedup over in-order: scout / EA / SST (Figure A)",
         paper_note: "every mechanism >= 1.0x; ordering scout <= EA <= SST; biggest gains on the commercial suite",
         hidden: false,
@@ -323,6 +326,7 @@ pub(super) fn e4() -> Experiment {
     }
     Experiment {
         id: "e4",
+        family: "paper",
         title: "SST vs out-of-order (Figure B, the headline)",
         paper_note: "SST ~ +18% over the large OoO on the commercial suite (accept +10..30%); OoO wins on compute-bound kernels",
         hidden: false,

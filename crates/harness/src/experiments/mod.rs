@@ -1,10 +1,11 @@
-//! The experiment definitions: each of E1–E12 and A1–A4 as a
+//! The experiment definitions: each of E1–E12, E14, and A1–A4 as a
 //! (jobs, fold) pair, ported from the original standalone binaries.
 
 mod ablations;
 mod core;
 mod sweeps;
 mod system;
+mod traffic;
 
 use crate::job::{JobKind, JobSpec};
 use crate::registry::{Experiment, Fold, RunCtx};
@@ -26,6 +27,7 @@ pub fn all() -> Vec<Experiment> {
         system::e10(),
         system::e11(),
         system::e12(),
+        traffic::e14(),
         ablations::a1(),
         ablations::a2(),
         ablations::a3(),
@@ -65,6 +67,7 @@ fn xfail() -> Experiment {
     }
     Experiment {
         id: "xfail",
+        family: "internal",
         title: "fault-injection check (always fails by design)",
         paper_note: "harness self-test: the panicking job lands in the manifest, the rest proceed",
         hidden: true,
@@ -85,6 +88,7 @@ fn xfold() -> Experiment {
     }
     Experiment {
         id: "xfold",
+        family: "internal",
         title: "fold fault-injection check (always fails by design)",
         paper_note: "harness self-test: a panicking fold is recorded and cannot look clean",
         hidden: true,

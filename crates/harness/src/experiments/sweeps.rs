@@ -79,6 +79,7 @@ pub(super) fn e5() -> Experiment {
     }
     Experiment {
         id: "e5",
+        family: "paper",
         title: "IPC vs DRAM latency (Figure C)",
         paper_note: "SST's advantage over in-order and ooo-128 widens with latency",
         hidden: false,
@@ -135,6 +136,7 @@ pub(super) fn e6() -> Experiment {
     }
     Experiment {
         id: "e6",
+        family: "paper",
         title: "IPC vs deferred-queue size (Figure D)",
         paper_note: "small DQs throttle the ahead thread (dq-full stalls); returns saturate by ~128",
         hidden: false,
@@ -194,6 +196,7 @@ pub(super) fn e7() -> Experiment {
     }
     Experiment {
         id: "e7",
+        family: "paper",
         title: "IPC vs checkpoint count (Figure E)",
         paper_note: "1 -> 2 checkpoints (EA -> SST) helps; past ~4 the returns vanish",
         hidden: false,
@@ -250,6 +253,7 @@ pub(super) fn e8() -> Experiment {
     }
     Experiment {
         id: "e8",
+        family: "paper",
         title: "IPC vs store-buffer size (Figure F)",
         paper_note: "store-heavy workloads stall hard below ~16 entries; saturation by ~64",
         hidden: false,

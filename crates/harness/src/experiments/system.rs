@@ -60,6 +60,7 @@ pub(super) fn e9() -> Experiment {
     }
     Experiment {
         id: "e9",
+        family: "paper",
         title: "area/power structure proxy (Table 3)",
         paper_note: "SST ~= in-order + DQ/STB/checkpoints; large OoO is several times costlier (CAM-heavy)",
         hidden: false,
@@ -122,6 +123,7 @@ pub(super) fn e10() -> Experiment {
     }
     Experiment {
         id: "e10",
+        family: "paper",
         title: "CMP throughput scaling (Figure G)",
         paper_note: "near-linear to ~4-8 cores, then DRAM/L2 contention; SST chip leads per-cost at every size",
         hidden: false,
@@ -197,6 +199,7 @@ pub(super) fn e11() -> Experiment {
     }
     Experiment {
         id: "e11",
+        family: "paper",
         title: "exposed MLP by core type (Figure H)",
         paper_note: "SST >= EA >= scout >= in-order miss overlap everywhere except MLP-1 chases",
         hidden: false,
@@ -249,6 +252,7 @@ pub(super) fn e12() -> Experiment {
     }
     Experiment {
         id: "e12",
+        family: "paper",
         title: "speculation outcome breakdown (Figure I)",
         paper_note: "commits dominate; deferred-branch failures are a small minority; stalls concentrated on store-heavy code",
         hidden: false,

@@ -5,6 +5,7 @@
 use sst_mem::MemConfig;
 use sst_prng::fnv1a;
 use sst_sim::{CmpResult, CmpSystem, CoreModel, RunResult, System};
+use sst_traffic::{TrafficResult, TrafficSpec};
 use sst_workloads::Workload;
 
 use crate::Env;
@@ -32,6 +33,10 @@ pub enum JobKind {
         /// Memory hierarchy configuration.
         mem: MemConfig,
     },
+    /// An open-loop traffic point: Poisson arrivals of server-kernel
+    /// request slices over the CMP, with queueing and tail-latency
+    /// accounting (experiment family E14).
+    Traffic(TrafficSpec),
     /// Panics immediately — exists to exercise the scheduler's fault
     /// isolation (the hidden `xfail` experiment and the harness tests).
     Panic {
@@ -58,6 +63,8 @@ pub enum JobOutput {
     Run(RunResult),
     /// From [`JobKind::Cmp`].
     Cmp(CmpResult),
+    /// From [`JobKind::Traffic`].
+    Traffic(TrafficResult),
 }
 
 impl JobOutput {
@@ -69,7 +76,7 @@ impl JobOutput {
     pub fn run(&self) -> &RunResult {
         match self {
             JobOutput::Run(r) => r,
-            JobOutput::Cmp(_) => panic!("expected a single-run result"),
+            _ => panic!("expected a single-run result"),
         }
     }
 
@@ -77,11 +84,23 @@ impl JobOutput {
     ///
     /// # Panics
     ///
-    /// Panics if this is a single-run result.
+    /// Panics if this is not a CMP result.
     pub fn cmp(&self) -> &CmpResult {
         match self {
             JobOutput::Cmp(r) => r,
-            JobOutput::Run(_) => panic!("expected a CMP result"),
+            _ => panic!("expected a CMP result"),
+        }
+    }
+
+    /// The traffic result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a traffic result.
+    pub fn traffic(&self) -> &TrafficResult {
+        match self {
+            JobOutput::Traffic(r) => r,
+            _ => panic!("expected a traffic result"),
         }
     }
 }
@@ -106,6 +125,14 @@ impl JobSpec {
                 workload: workload.to_string(),
                 mem,
             },
+        }
+    }
+
+    /// An open-loop traffic point.
+    pub fn traffic(name: impl Into<String>, spec: TrafficSpec) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            kind: JobKind::Traffic(spec),
         }
     }
 
@@ -152,6 +179,11 @@ impl JobSpec {
                 key.push_str(&format!(
                     "kind=cmp;model={model:?};workload={workload};cores={cores};mem={mem:?}"
                 ));
+            }
+            JobKind::Traffic(spec) => {
+                // The spec's stable Debug form carries every sweep
+                // parameter (load, queue bounds, policy, quantum, ...).
+                key.push_str(&format!("kind=traffic;spec={spec:?}"));
             }
             JobKind::Panic { message } => {
                 key.push_str(&format!("kind=panic;message={message}"));
@@ -207,6 +239,13 @@ impl JobSpec {
                 .with_threads(threads)
                 .run(env.max_cycles);
                 Ok(JobOutput::Cmp(r))
+            }
+            JobKind::Traffic(spec) => {
+                // Like Cmp, a budget overrun panics inside the service
+                // driver and surfaces through the scheduler's
+                // catch_unwind as a failed job.
+                let r = sst_traffic::run_traffic(spec, env.scale, env.seed, threads, env.max_cycles);
+                Ok(JobOutput::Traffic(r))
             }
             JobKind::Panic { message } => panic!("{message}"),
         }

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use sst_sim::report::Table;
 use sst_sim::{CmpResult, RunResult};
+use sst_traffic::TrafficResult;
 
 use crate::experiments;
 use crate::job::{JobOutput, JobSpec};
@@ -82,6 +83,18 @@ impl<'a> RunCtx<'a> {
             .unwrap_or_else(|| panic!("no job named {name:?}"))
             .cmp()
     }
+
+    /// The traffic result of job `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job does not exist or is not a traffic run.
+    pub fn traffic(&self, name: &str) -> &TrafficResult {
+        self.results
+            .get(name)
+            .unwrap_or_else(|| panic!("no job named {name:?}"))
+            .traffic()
+    }
 }
 
 /// One experiment: identity, job declaration, and fold.
@@ -90,6 +103,10 @@ pub struct Experiment {
     pub id: &'static str,
     /// Human title.
     pub title: &'static str,
+    /// Family the experiment belongs to — groups `sst-run --list` output
+    /// (`"paper"` for E1-E12, `"ablation"` for A1-A4, `"traffic"` for the
+    /// E14 service-level family, `"internal"` for hidden fixtures).
+    pub family: &'static str,
     /// What the paper says the result should look like.
     pub paper_note: &'static str,
     /// Excluded from `sst-run all` (the fault-injection experiment).
@@ -122,8 +139,8 @@ mod tests {
     fn registry_covers_the_study() {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1",
-            "a2", "a3", "a4",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e14",
+            "a1", "a2", "a3", "a4",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }
@@ -164,5 +181,18 @@ mod tests {
     fn hidden_experiments_exist_but_do_not_leak() {
         let xfail = all().into_iter().find(|e| e.id == "xfail").expect("xfail");
         assert!(xfail.hidden);
+    }
+
+    #[test]
+    fn every_experiment_declares_a_known_family() {
+        for e in all() {
+            assert!(
+                ["paper", "ablation", "traffic", "internal"].contains(&e.family),
+                "{}: unknown family {:?}",
+                e.id,
+                e.family
+            );
+            assert_eq!(e.family == "internal", e.hidden, "{}", e.id);
+        }
     }
 }

@@ -510,6 +510,35 @@ fn write_experiment_json(
                         ("dram_reads".to_string(), JVal::Int(r.mem.dram_reads)),
                     ]);
                 }
+                JobOutput::Traffic(r) => {
+                    let p = |q: u64| {
+                        r.hist
+                            .percentile_permille(q)
+                            .map_or(JVal::str("-"), JVal::Int)
+                    };
+                    pairs.extend([
+                        ("kind".to_string(), JVal::str("traffic")),
+                        ("model".to_string(), JVal::str(&r.model)),
+                        ("workload".to_string(), JVal::str(&r.workload)),
+                        ("cores".to_string(), JVal::Int(r.cores as u64)),
+                        (
+                            "load_permille".to_string(),
+                            JVal::Int(r.load_permille as u64),
+                        ),
+                        (
+                            "mean_interarrival".to_string(),
+                            JVal::Int(r.mean_interarrival),
+                        ),
+                        ("cycles".to_string(), JVal::Int(r.cycles)),
+                        ("offered".to_string(), JVal::Int(r.offered)),
+                        ("completed".to_string(), JVal::Int(r.completed)),
+                        ("shed".to_string(), JVal::Int(r.shed)),
+                        ("p50".to_string(), p(500)),
+                        ("p99".to_string(), p(990)),
+                        ("p999".to_string(), p(999)),
+                        ("dram_reads".to_string(), JVal::Int(r.mem.dram_reads)),
+                    ]);
+                }
             }
             JVal::Obj(pairs)
         })

@@ -84,6 +84,38 @@ fn scheduler_output_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn e14_tables_are_identical_across_jobs_and_sim_threads() {
+    // The traffic family's determinism contract, end to end: the emitted
+    // CSV/JSON tables are byte-identical whether the sweep runs on 1 or 8
+    // workers, and whether each CMP simulates on 1 or 4 threads.
+    let e14 = || vec![registry::find("e14").unwrap()];
+
+    let base = tmp_out("e14-base");
+    let summary = sched::run(&e14(), &cfg(&base, 1, false));
+    assert!(summary.clean(), "e14 failed: {:?}", summary.failures);
+    let a = output_files(&base);
+    assert!(a.contains_key("e14_load_sst.csv"), "{:?}", a.keys());
+    assert!(a.contains_key("e14_knee.csv"), "{:?}", a.keys());
+    assert!(a.contains_key("e14.json"), "{:?}", a.keys());
+
+    let jobs8 = tmp_out("e14-jobs8");
+    let summary = sched::run(&e14(), &cfg(&jobs8, 8, false));
+    assert!(summary.clean(), "{:?}", summary.failures);
+    assert_eq!(a, output_files(&jobs8), "jobs=8 must not change a byte");
+
+    let threads4 = tmp_out("e14-threads4");
+    let mut c = cfg(&threads4, 2, false);
+    c.sim_threads = 4;
+    let summary = sched::run(&e14(), &c);
+    assert!(summary.clean(), "{:?}", summary.failures);
+    assert_eq!(a, output_files(&threads4), "--threads 4 must not change a byte");
+
+    fs::remove_dir_all(&base).ok();
+    fs::remove_dir_all(&jobs8).ok();
+    fs::remove_dir_all(&threads4).ok();
+}
+
+#[test]
 fn second_run_is_served_entirely_from_cache() {
     let e2 = || vec![registry::find("e2").unwrap()];
     let out = tmp_out("cache");

@@ -264,6 +264,13 @@ impl Core for InOrderCore {
         self.cycle = target;
     }
 
+    fn gate_to(&mut self, target: Cycle) {
+        // Clock gate: dead time, not stall time — no counters move, and
+        // absolute-cycle state (outstanding I-miss, operand timers) ages
+        // naturally across the gate.
+        self.cycle = self.cycle.max(target);
+    }
+
     fn core_id(&self) -> usize {
         self.id
     }

@@ -920,6 +920,12 @@ impl Core for OooCore {
         self.cycle = target;
     }
 
+    fn gate_to(&mut self, target: Cycle) {
+        // Clock gate (see the trait docs): no stall accounting, in-flight
+        // absolute-cycle state ages across the gated window.
+        self.cycle = self.cycle.max(target);
+    }
+
     fn core_id(&self) -> usize {
         self.id
     }

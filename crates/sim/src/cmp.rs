@@ -73,11 +73,11 @@ impl CmpResult {
 
 /// An `n`-core chip: private L1s, shared banked L2, one DRAM channel.
 pub struct CmpSystem {
-    cores: Vec<Box<dyn Core>>,
-    mem: MemSystem,
-    model_label: String,
-    fast_forward: bool,
-    threads: usize,
+    pub(crate) cores: Vec<Box<dyn Core>>,
+    pub(crate) mem: MemSystem,
+    pub(crate) model_label: String,
+    pub(crate) fast_forward: bool,
+    pub(crate) threads: usize,
 }
 
 impl CmpSystem {
@@ -109,6 +109,32 @@ impl CmpSystem {
             // 64 GiB ranges, so the per-port split is exact.
             w.program.load_into(mem.port_mem_mut(id));
             cores.push(model.build(id, &w.program));
+        }
+        CmpSystem {
+            cores,
+            mem,
+            model_label: model.label(),
+            fast_forward: true,
+            threads: 1,
+        }
+    }
+
+    /// Builds a CMP whose core `i` runs `programs[i]` directly, with no
+    /// workload lookup — the service-driver path (`run_service`) hands
+    /// endless server kernels here. Each program's text/data must live in
+    /// address slot `i` (`Workload::by_name_slot`-style), because each
+    /// slot's image is loaded into port `i`'s private memory.
+    pub fn from_programs(
+        model: CoreModel,
+        programs: &[&sst_isa::Program],
+        mem_cfg: &MemConfig,
+    ) -> CmpSystem {
+        assert!(!programs.is_empty());
+        let mut mem = MemSystem::new(mem_cfg, programs.len());
+        let mut cores: Vec<Box<dyn Core>> = Vec::new();
+        for (id, p) in programs.iter().enumerate() {
+            p.load_into(mem.port_mem_mut(id));
+            cores.push(model.build(id, p));
         }
         CmpSystem {
             cores,
@@ -251,7 +277,8 @@ impl CmpSystem {
 
 /// Poisons the shared horizon table if the worker unwinds, so peers
 /// spin-waiting on this worker's progress panic instead of hanging.
-struct PoisonOnPanic<'a>(&'a ParallelMem);
+/// Shared with the service driver in `crate::service`.
+pub(crate) struct PoisonOnPanic<'a>(pub(crate) &'a ParallelMem);
 
 impl Drop for PoisonOnPanic<'_> {
     fn drop(&mut self) {

@@ -30,9 +30,11 @@ mod checker;
 mod cmp;
 mod models;
 pub mod report;
+mod service;
 mod system;
 
 pub use checker::{CosimError, RetireChecker};
 pub use cmp::{CmpResult, CmpSystem};
 pub use models::CoreModel;
+pub use service::{Lane, Request, WorkSource};
 pub use system::{geomean, RunResult, System};

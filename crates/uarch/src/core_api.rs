@@ -100,6 +100,29 @@ pub trait Core: Send {
         );
     }
 
+    /// Clock-gates the core: advances its clock to `target` without
+    /// fetching, issuing, committing, or touching the memory system — the
+    /// WFI/power-gate analogue for service-style drivers whose cores have
+    /// no work queued (see `sst-sim`'s `WorkSource` driver).
+    ///
+    /// Unlike [`Core::skip_to`], this is *not* transparent: the gated
+    /// window is dead time by construction, not provably-inert stall
+    /// cycles, so no stall counters are credited and `target` needs no
+    /// `next_event_cycle` vouching. In-flight absolute-cycle state (an
+    /// outstanding I-miss, a timed register) keeps aging across the gate,
+    /// exactly as on hardware whose caches keep running while the pipeline
+    /// clock is held. Callers must only gate a core they then resume at
+    /// `target` (all cores of a chip share one clock). A `target` at or
+    /// before the current cycle is a no-op.
+    ///
+    /// The default panics: drivers may only gate cores that opted in.
+    fn gate_to(&mut self, target: Cycle) {
+        panic!(
+            "{}: gate_to({target}) called but the model does not support clock gating",
+            self.model_name()
+        );
+    }
+
     /// The core's index in the shared memory system.
     fn core_id(&self) -> usize;
 

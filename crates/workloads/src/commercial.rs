@@ -11,13 +11,40 @@ use sst_isa::Reg;
 use crate::common::{slot_asm, pointer_chain, random_bytes, random_words, rng, xorshift};
 use crate::{Class, Scale, Workload};
 
+/// Nominal instructions per OLTP transaction (one trip round the main
+/// loop, averaged over the data-dependent branch arms). The service layer
+/// uses this to convert offered load into an arrival rate.
+pub const OLTP_TXN_INSTS: u64 = 55;
+/// Nominal instructions per ERP iteration.
+pub const ERP_TXN_INSTS: u64 = 40;
+/// Nominal instructions per web request.
+pub const WEB_TXN_INSTS: u64 = 60;
+
+/// Transaction count for server variants: effectively endless — the
+/// service driver slices requests off the running loop and never lets it
+/// reach the halt (it would take ~centuries of simulated time).
+const SERVER_TXNS: i64 = 1 << 42;
+
 /// OLTP / database: hash-directory probe, two-hop bucket-chain walk, row
 /// processing with a data-dependent branch, log append, hot-counter update.
 /// Large footprint, miss-dominated, deep dependence behind each miss.
 pub fn oltp(scale: Scale, seed: u64, slot: usize) -> Workload {
-    let (nodes, dir_entries, txns) = match scale {
-        Scale::Smoke => (32 * 1024, 4 * 1024, 300),       // 2 MiB chain
-        Scale::Full => (512 * 1024, 64 * 1024, 4_000),    // 32 MiB chain
+    let txns = match scale {
+        Scale::Smoke => 300,
+        Scale::Full => 4_000,
+    };
+    oltp_build(scale, seed, slot, txns, (txns as u64 / 10) * OLTP_TXN_INSTS)
+}
+
+/// The endless-loop OLTP variant for the service driver (`sst-traffic`).
+pub fn oltp_server(scale: Scale, seed: u64, slot: usize) -> Workload {
+    oltp_build(scale, seed, slot, SERVER_TXNS, 0)
+}
+
+fn oltp_build(scale: Scale, seed: u64, slot: usize, txns: i64, skip_insts: u64) -> Workload {
+    let (nodes, dir_entries) = match scale {
+        Scale::Smoke => (32 * 1024, 4 * 1024),    // 2 MiB chain
+        Scale::Full => (512 * 1024, 64 * 1024),   // 32 MiB chain
     };
     let mut r = rng("oltp", seed);
     let mut a = slot_asm(slot);
@@ -99,7 +126,7 @@ pub fn oltp(scale: Scale, seed: u64, slot: usize) -> Workload {
         name: "oltp",
         class: Class::Commercial,
         program: a.finish().expect("oltp assembles"),
-        skip_insts: (txns as u64 / 10) * 55,
+        skip_insts,
         description: "hash probe + 2-hop bucket chain + row processing + log append",
     }
 }
@@ -107,9 +134,22 @@ pub fn oltp(scale: Scale, seed: u64, slot: usize) -> Workload {
 /// ERP / Java-server: object-graph navigation with a hot working set,
 /// moderate compute per object, occasional field updates.
 pub fn erp(scale: Scale, seed: u64, slot: usize) -> Workload {
-    let (objects, hot_objects, iters) = match scale {
-        Scale::Smoke => (16 * 1024, 1024, 400),        // 1 MiB of objects
-        Scale::Full => (128 * 1024, 8 * 1024, 5_000),  // 8 MiB of objects
+    let iters = match scale {
+        Scale::Smoke => 400,
+        Scale::Full => 5_000,
+    };
+    erp_build(scale, seed, slot, iters, (iters as u64 / 10) * ERP_TXN_INSTS)
+}
+
+/// The endless-loop ERP variant for the service driver.
+pub fn erp_server(scale: Scale, seed: u64, slot: usize) -> Workload {
+    erp_build(scale, seed, slot, SERVER_TXNS, 0)
+}
+
+fn erp_build(scale: Scale, seed: u64, slot: usize, iters: i64, skip_insts: u64) -> Workload {
+    let (objects, hot_objects) = match scale {
+        Scale::Smoke => (16 * 1024, 1024),        // 1 MiB of objects
+        Scale::Full => (128 * 1024, 8 * 1024),    // 8 MiB of objects
     };
     let mut r = rng("erp", seed);
     let mut a = slot_asm(slot);
@@ -170,7 +210,7 @@ pub fn erp(scale: Scale, seed: u64, slot: usize) -> Workload {
         name: "erp",
         class: Class::Commercial,
         program: a.finish().expect("erp assembles"),
-        skip_insts: (iters as u64 / 10) * 40,
+        skip_insts,
         description: "object-graph navigation, hot working set, field updates",
     }
 }
@@ -182,15 +222,28 @@ pub fn erp(scale: Scale, seed: u64, slot: usize) -> Workload {
 /// is mostly lookup and bookkeeping around a small amount of byte
 /// scanning.
 pub fn web(scale: Scale, seed: u64, slot: usize) -> Workload {
+    let requests = match scale {
+        Scale::Smoke => 250,
+        Scale::Full => 3_000,
+    };
+    web_build(scale, seed, slot, requests, (requests as u64 / 10) * WEB_TXN_INSTS)
+}
+
+/// The endless-loop web variant for the service driver.
+pub fn web_server(scale: Scale, seed: u64, slot: usize) -> Workload {
+    web_build(scale, seed, slot, SERVER_TXNS, 0)
+}
+
+fn web_build(scale: Scale, seed: u64, slot: usize, requests: i64, skip_insts: u64) -> Workload {
     // The request buffer is a small connection ring: a real server parses
     // bytes it just received (cache-warm); the off-chip misses come from
     // session state, not the scan.
     // Web is the least memory-bound of the commercial suite: a modest
     // session footprint (partially L2-resident) and a fair amount of
     // per-request formatting compute.
-    let (buf_bytes, sessions, requests) = match scale {
-        Scale::Smoke => (64 * 1024, 8 * 1024, 250),
-        Scale::Full => (64 * 1024, 64 * 1024, 3_000),
+    let (buf_bytes, sessions) = match scale {
+        Scale::Smoke => (64 * 1024, 8 * 1024),
+        Scale::Full => (64 * 1024, 64 * 1024),
     };
     let mut r = rng("web", seed);
     let mut a = slot_asm(slot);
@@ -307,7 +360,7 @@ pub fn web(scale: Scale, seed: u64, slot: usize) -> Workload {
         name: "web",
         class: Class::Commercial,
         program: a.finish().expect("web assembles"),
-        skip_insts: (requests as u64 / 10) * 60,
+        skip_insts,
         description: "header-token scan, session-table lookup, response formatting, log append",
     }
 }

@@ -141,6 +141,46 @@ impl Workload {
     }
 }
 
+/// A commercial workload packaged for the service driver: the same kernel
+/// as [`Workload::by_name`], but with an effectively endless main loop
+/// (the driver slices *requests* — N transactions' worth of retired
+/// instructions — off the running loop, so the program must never halt on
+/// its own) and the nominal per-transaction instruction count the traffic
+/// layer needs to convert offered load into an arrival rate.
+pub struct ServerKernel {
+    /// The endless-loop kernel (`skip_insts` is 0: warm-up is the traffic
+    /// layer's business, expressed in requests).
+    pub workload: Workload,
+    /// Nominal instructions per transaction (one main-loop trip).
+    pub txn_insts: u64,
+}
+
+impl ServerKernel {
+    /// Builds a server kernel by name at address slot `slot` (one slot per
+    /// core, as in [`Workload::by_name_slot`]). Only the commercial suite
+    /// has server variants; other names return `None`.
+    pub fn by_name(name: &str, scale: Scale, seed: u64, slot: usize) -> Option<ServerKernel> {
+        let (workload, txn_insts) = match name {
+            "oltp" => (commercial::oltp_server(scale, seed, slot), commercial::OLTP_TXN_INSTS),
+            "erp" => (commercial::erp_server(scale, seed, slot), commercial::ERP_TXN_INSTS),
+            "web" => (commercial::web_server(scale, seed, slot), commercial::WEB_TXN_INSTS),
+            _ => return None,
+        };
+        Some(ServerKernel { workload, txn_insts })
+    }
+
+    /// Nominal per-transaction instruction count by name, without building
+    /// the (expensive) data image. `None` for non-server names.
+    pub fn txn_insts_of(name: &str) -> Option<u64> {
+        Some(match name {
+            "oltp" => commercial::OLTP_TXN_INSTS,
+            "erp" => commercial::ERP_TXN_INSTS,
+            "web" => commercial::WEB_TXN_INSTS,
+            _ => return None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +205,21 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(Workload::by_name("nope", Scale::Smoke, 1).is_none());
+    }
+
+    #[test]
+    fn server_kernels_build_and_never_halt_early() {
+        for name in Workload::commercial_names() {
+            let k = ServerKernel::by_name(name, Scale::Smoke, 3, 1).unwrap();
+            assert_eq!(k.workload.skip_insts, 0, "{name}");
+            assert!(k.txn_insts > 0);
+            assert_eq!(ServerKernel::txn_insts_of(name), Some(k.txn_insts));
+            let mut i = Interp::new(&k.workload.program);
+            let out = i.run(200_000).unwrap_or_else(|t| panic!("{name}: trap {t}"));
+            assert_eq!(out.stop, StopReason::StepLimit, "{name} halted early");
+        }
+        assert!(ServerKernel::by_name("mcf", Scale::Smoke, 3, 0).is_none());
+        assert!(ServerKernel::txn_insts_of("mcf").is_none());
     }
 
     #[test]

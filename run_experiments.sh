@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Runs the full experiment suite (E1-E12, A1-A4) through the sst-run
+# Runs the full experiment suite (E1-E12, E14, A1-A4) through the sst-run
 # orchestrator: parallel across CPUs, served from results/cache/ on
 # repeat runs, with per-experiment CSV/JSON under results/ and a run
 # manifest at results/manifest.json.
 #
 # Environment:
-#   SST_EXPS="e4 a1 ..."   run a subset (default: all). Legacy binary
+#   SST_EXPS="e4 a1 ..."   run a subset (default: all, which includes the
+#                          E14 open-loop traffic sweep; set e.g.
+#                          SST_EXPS="e14" for just the load sweep, or list
+#                          ids without e14 to skip it). Legacy binary
 #                          names (e4_vs_ooo, a3_confidence_gate) work too.
 #   SST_JOBS=N             worker threads (default: all cores)
 #   SST_SCALE=smoke|full   workload scale (default full)
