@@ -6,8 +6,8 @@ use std::hash::{BuildHasherDefault, Hasher};
 use sst_isa::{Inst, Program, Reg};
 use sst_mem::{AccessKind, Cycle, MemBus};
 use sst_uarch::{
-    execute, extend_load, mem_addr, Checkpoint, Commit, Core, DeferredQueue, DqEntry, FetchedInst,
-    ForwardResult, Frontend, RegImage, Seq, StoreBuffer, StoreEntry,
+    execute, extend_load, mem_addr, Checkpoint, Commit, Core, DeferredQueue, DqEntry,
+    DrainedStore, FetchedInst, ForwardResult, Frontend, RegImage, Seq, StoreBuffer, StoreEntry,
 };
 
 use crate::{SstConfig, SstStats};
@@ -108,8 +108,12 @@ pub struct SstCore {
     /// Next cycle at which a replay scan could find work.
     replay_check_at: Cycle,
     /// Active replay pass: sequence number of the next DQ entry to
-    /// examine. `None` when no pass is in progress.
-    replay_cursor: Option<Seq>,
+    /// examine, tagged with the DQ generation the pass started under.
+    /// `None` when no pass is in progress; a generation mismatch (the DQ
+    /// was squashed mid-pass) restarts the pass from the oldest entry.
+    replay_cursor: Option<(Seq, u64)>,
+    /// Reusable commit-drain buffer (avoids a Vec per committed epoch).
+    drain_buf: Vec<DrainedStore>,
     /// Forward-progress guard: after a rollback, the next deferrable miss
     /// executes in-order (no new episode) so that at least one miss is
     /// architecturally consumed per rollback. Cleared at the next commit.
@@ -134,7 +138,7 @@ impl SstCore {
     pub fn new(cfg: SstConfig, id: usize, program: &Program) -> SstCore {
         assert!(cfg.checkpoints >= 1, "need at least one checkpoint");
         SstCore {
-            frontend: Frontend::new(cfg.frontend, program.entry),
+            frontend: Frontend::new(cfg.frontend, program),
             dq: DeferredQueue::new(cfg.dq_entries),
             stb: StoreBuffer::new(cfg.stb_entries),
             cfg,
@@ -148,6 +152,7 @@ impl SstCore {
             commits: Vec::new(),
             replay_check_at: Cycle::MAX,
             replay_cursor: None,
+            drain_buf: Vec::new(),
             no_defer: false,
             last_progress: 0,
             trace: std::collections::VecDeque::new(),
@@ -198,7 +203,7 @@ impl SstCore {
             self.replay_cursor,
             self.replay_vals.len()
         );
-        for e in self.dq.as_slice().iter().take(8) {
+        for e in self.dq.iter().take(8) {
             eprintln!(
                 "  dq seq={} pc={:#x} {:?} cap={:?} prod={:?} data_ready={:?} ready_now={}",
                 e.seq, e.pc, e.inst, e.captured, e.producers, e.data_ready_at,
@@ -321,7 +326,7 @@ impl SstCore {
         while let Some(oldest) = self.epochs.front() {
             let bound = oldest.end_seq.unwrap_or(self.seq);
             // Any DQ entry still owned by this epoch?
-            if self.dq.as_slice().first().is_some_and(|e| e.seq <= bound) {
+            if self.dq.first_seq().is_some_and(|s| s <= bound) {
                 break;
             }
             let mut ep = self.epochs.pop_front().expect("checked front");
@@ -333,7 +338,9 @@ impl SstCore {
                 "epoch log must be a dense program-order range"
             );
             self.commits.append(&mut ep.log);
-            for d in self.stb.drain_through(bound) {
+            self.drain_buf.clear();
+            self.stb.drain_through_into(bound, &mut self.drain_buf);
+            for d in &self.drain_buf {
                 mem.access(now, AccessKind::Store, d.addr);
                 mem.write(d.addr, d.bytes, d.value);
             }
@@ -431,14 +438,21 @@ impl SstCore {
         // still enforced per epoch by try_commit).
         let bound = Seq::MAX;
 
-        // Start a pass if none is active.
-        let mut cursor = self.replay_cursor.unwrap_or_default();
+        // Start a pass if none is active. The cursor carries the DQ
+        // generation it was taken under: a mid-pass squash (rollback)
+        // reshuffles the queue, so a surviving cursor from an older
+        // generation is stale and the pass restarts at the oldest entry.
+        let cur_gen = self.dq.generation();
+        let mut cursor = match self.replay_cursor {
+            Some((c, g)) if g == cur_gen => c,
+            _ => 0,
+        };
 
         // The DQ is seq-sorted, so the pass position is an index walked
         // forward, located once per call by binary search — not a linear
         // re-scan per examined entry (that made a full pass O(n^2) and
         // dominated whole-simulation wall clock on deferred-heavy runs).
-        let mut idx = self.dq.as_slice().partition_point(|e| e.seq < cursor);
+        let mut idx = self.dq.position(cursor);
 
         // Executing an entry occupies an issue slot; skipping a not-ready
         // entry is free (a ready-bit scan), so a pass only pays for the
@@ -454,12 +468,14 @@ impl SstCore {
                 Exec,
                 NotReady { seq: Seq, when: Option<Cycle> },
             }
-            let step = match self.dq.as_slice().get(idx).filter(|e| e.seq <= bound) {
+            // One readiness computation per examined entry: ready is
+            // exactly "knowable and already past" (`entry_ready` and
+            // `entry_ready_when` consult the same producer table).
+            let step = match self.dq.get(idx).filter(|e| e.seq <= bound) {
                 None => Step::PassDone,
-                Some(e) if self.entry_ready(e, now) => Step::Exec,
-                Some(e) => Step::NotReady {
-                    seq: e.seq,
-                    when: self.entry_ready_when(e),
+                Some(e) => match self.entry_ready_when(e) {
+                    Some(when) if when <= now => Step::Exec,
+                    when => Step::NotReady { seq: e.seq, when },
                 },
             };
 
@@ -470,16 +486,24 @@ impl SstCore {
                     // re-deferred early in a long pass may have become
                     // executable meanwhile, so the wake must consult each
                     // entry's own readiness time (not just future-dated
-                    // arrivals).
+                    // arrivals). Entries blocked behind an unresolved
+                    // older store are excluded: they are input-ready with
+                    // no wake time of their own, and the only event that
+                    // can unstick them — that store resolving — happens
+                    // inside a replay pass this wake already schedules
+                    // (the store's own readiness, or its data arrival, is
+                    // accounted by an unblocked entry or the data heap).
+                    // Before this exclusion they pinned `replay_check_at`
+                    // to `now + 1`, forcing an O(n) empty pass every cycle
+                    // for the entire miss latency.
                     self.tr(|| format!("t{now} pass-done cur={cursor} used={used}"));
                     self.replay_cursor = None;
                     let wake_data = self.dq.next_data_ready().unwrap_or(Cycle::MAX);
                     let wake_entries = self
                         .dq
-                        .as_slice()
-                        .iter()
-                        .filter(|e| e.seq <= bound)
-                        .filter_map(|e| self.entry_ready_when(e))
+                        .iter_blocked()
+                        .filter(|&(e, blocked)| !blocked && e.seq <= bound)
+                        .filter_map(|(e, _)| self.entry_ready_when(e))
                         .map(|w| w.max(now + 1))
                         .min()
                         .unwrap_or(Cycle::MAX);
@@ -487,7 +511,7 @@ impl SstCore {
                     return used;
                 }
                 Step::Exec => {
-                    let e = self.dq.as_slice()[idx];
+                    let e = *self.dq.get(idx).expect("examined above");
                     used += 1;
                     self.stats.replay_issued += 1;
                     self.tr(|| format!("t{now} exec {}", e.seq));
@@ -533,7 +557,7 @@ impl SstCore {
         }
 
         self.tr(|| format!("t{now} pause cur={cursor} used={used}"));
-        self.replay_cursor = Some(cursor);
+        self.replay_cursor = Some((cursor, cur_gen));
         self.replay_check_at = now + 1; // pass still in progress
         used
     }
@@ -553,7 +577,11 @@ impl SstCore {
                 let addr = mem_addr(e.inst, s1);
                 let bytes = width.bytes();
                 let Some(raw) = self.stb.read_overlay(e.seq, addr, bytes, mem.mem()) else {
-                    // An older store is still unresolved; retry next pass.
+                    // An older store is still unresolved. The load is
+                    // input-ready but can make no progress until some
+                    // store resolves, so mark it blocked: the pass-done
+                    // wake skips it instead of re-polling every cycle.
+                    self.dq.mark_blocked(e.seq);
                     return ReplayOutcome::Stuck;
                 };
                 let ready = if e.data_ready_at.is_some() {
@@ -605,6 +633,9 @@ impl SstCore {
                 let addr = mem_addr(e.inst, s1);
                 let value = s2;
                 self.stb.resolve(e.seq, addr, value);
+                // A resolved store may unstick ordering-blocked loads
+                // (they are all younger, so this pass re-examines them).
+                self.dq.clear_blocked();
                 // Warm the line for the eventual commit-time write.
                 mem.access_pc(now, AccessKind::Prefetch, addr, e.pc);
                 self.log_commit_deferred(Commit {
@@ -755,7 +786,12 @@ impl SstCore {
         }
         let work = now >= self.replay_check_at;
 
-        if oldest_open && work {
+        // Ordering-blocked entries don't schedule replay passes (nothing
+        // can progress until the blocking store resolves), but they are
+        // pending deferred work all the same: SST closes the open epoch
+        // promptly so the deferred strand can drain it concurrently with
+        // the ahead strand instead of waiting for the next data return.
+        if oldest_open && (work || self.dq.any_blocked()) {
             // The (single) open epoch has replayable work. With a free
             // checkpoint we close it and keep the ahead strand running
             // (SST); otherwise the ahead strand suspends (EA).
@@ -798,7 +834,34 @@ impl SstCore {
                 return (0, true);
             }
         }
+        if self.dq.any_blocked() {
+            // A replay pass is stalled in place on an ordering-blocked
+            // load (input-ready, waiting on an unresolved older store).
+            // With a single checkpoint the ahead strand shares the
+            // pipeline with the stalled deferred strand and suspends with
+            // it — exactly the execute-ahead weakness the second
+            // checkpoint (SST) removes. `ea_replay_suspended` mirrors the
+            // conditions that reach this line; keep them in lockstep.
+            self.stats.stall_ea_replay += 1;
+            return (0, true);
+        }
         (width, false)
+    }
+
+    /// `true` when this cycle's `manage_speculation` would suspend the
+    /// ahead strand on blocked deferred work (the EA path: an open oldest
+    /// epoch it cannot close). Used by `next_event_cycle`/`skip_to` to
+    /// vouch and bulk-credit such windows — the only per-cycle effect is
+    /// the `stall_ea_replay` counter.
+    fn ea_replay_suspended(&self) -> bool {
+        self.cfg.retain_results
+            && self
+                .epochs
+                .front()
+                .is_some_and(|e| e.end_seq.is_none())
+            && self.dq.any_blocked()
+            && !(self.epochs.len() < self.cfg.checkpoints
+                && self.frontend.resume_pc().is_some())
     }
 
     // ------------------------------------------------------------- ahead strand
@@ -1236,15 +1299,56 @@ impl Core for SstCore {
             return Cycle::MAX;
         }
         let fetch = self.frontend.next_fetch_cycle(now);
+        if fetch <= now {
+            // Fetch can proceed this cycle, so no window can be vouched;
+            // every other term is >= now, making the min `now`. Bailing
+            // here keeps the (pricier) ahead-wake computation off the
+            // per-tick path of active phases.
+            return now;
+        }
         // Deferred-strand / speculation-management wake: a scout episode
         // rolls back when its originating miss returns; SST/EA epochs do
-        // replay work (and close/commit/rollback) at `replay_check_at`.
+        // replay work (and close/commit/rollback) at `replay_check_at` —
+        // the next DQ data-ready arrival or entry-ready time. With
+        // `event_wakeup` off, no window is vouched while an epoch is live
+        // (the driver ticks cycle by cycle); the toggle changes only the
+        // vouching, never the replay schedule, so both settings produce
+        // byte-identical runs.
         let spec = match self.epochs.front() {
             Some(oldest) if !self.cfg.retain_results => oldest.cause_ready.max(now),
-            Some(_) => self.replay_check_at.max(now),
+            Some(oldest) if self.cfg.event_wakeup => {
+                // Blocked deferred work under an *open* oldest epoch:
+                // with a free checkpoint (and a resumable PC) SST closes
+                // the epoch on the very next tick — a state change no
+                // window may jump. Without one, EA suspends its ahead
+                // strand and the only per-cycle effect is the
+                // `stall_ea_replay` counter, which `skip_to` credits in
+                // bulk — so the window up to the next replay event is
+                // vouchable. With the oldest epoch closed, blocked
+                // entries are inert until the next replay event.
+                if oldest.end_seq.is_none()
+                    && self.dq.any_blocked()
+                    && self.epochs.len() < self.cfg.checkpoints
+                    && self.frontend.resume_pc().is_some()
+                {
+                    now
+                } else {
+                    self.replay_check_at.max(now)
+                }
+            }
+            Some(_) => now,
             None => Cycle::MAX,
         };
-        let ahead = self.ahead_wake(now).0.max(now);
+        if spec <= now {
+            return now;
+        }
+        // A suspended ahead strand cannot issue no matter what its head's
+        // readiness says, so its wake must not shrink the window.
+        let ahead = if self.ea_replay_suspended() {
+            Cycle::MAX
+        } else {
+            self.ahead_wake(now).0.max(now)
+        };
         // The wedge watchdog must still fire at the exact cycle it would
         // in an unskipped run.
         let watchdog = self.last_progress + 2_000_000;
@@ -1256,14 +1360,22 @@ impl Core for SstCore {
         debug_assert!(from < target && target <= self.next_event_cycle());
         let n = target - from;
         self.frontend.note_skipped(from, target);
-        match self.ahead_wake(from).1 {
-            AheadStall::Frontend => self.stats.stall_frontend += n,
-            AheadStall::HaltWait => self.stats.stall_halt_wait += n,
-            AheadStall::Operand => self.stats.stall_operand += n,
-            AheadStall::LowConf => self.stats.stall_lowconf += n,
-            AheadStall::DqFull => self.stats.stall_dq_full += n,
-            AheadStall::StbFull => self.stats.stall_stb_full += n,
-            AheadStall::None => debug_assert!(false, "skip_to with an issueable head"),
+        if self.ea_replay_suspended() {
+            // Each skipped cycle would have suspended the ahead strand in
+            // `manage_speculation` (blocked deferred work, no free
+            // checkpoint to close into) and counted one EA-replay stall —
+            // and nothing else.
+            self.stats.stall_ea_replay += n;
+        } else {
+            match self.ahead_wake(from).1 {
+                AheadStall::Frontend => self.stats.stall_frontend += n,
+                AheadStall::HaltWait => self.stats.stall_halt_wait += n,
+                AheadStall::Operand => self.stats.stall_operand += n,
+                AheadStall::LowConf => self.stats.stall_lowconf += n,
+                AheadStall::DqFull => self.stats.stall_dq_full += n,
+                AheadStall::StbFull => self.stats.stall_stb_full += n,
+                AheadStall::None => debug_assert!(false, "skip_to with an issueable head"),
+            }
         }
         self.cycle = target;
     }

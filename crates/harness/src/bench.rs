@@ -20,7 +20,7 @@
 //!
 //! * fresh geomean < 90% of baseline → loud warning, exit 0 (soft gate —
 //!   shared CI runners are noisy);
-//! * fresh geomean < 75% of baseline → exit 1 (a real regression).
+//! * fresh geomean < 80% of baseline → exit 1 (a real regression).
 //!
 //! The `--check` geomean covers the single-core matrix only; the CMP
 //! pairs are informational (their wall time depends on host parallelism,
@@ -43,7 +43,7 @@ const DEFAULT_WORKLOADS: &[&str] = &["gzip", "erp", "oltp"];
 
 /// Ratio thresholds for `--check` (fresh / baseline geomean).
 const WARN_BELOW: f64 = 0.90;
-const FAIL_BELOW: f64 = 0.75;
+const FAIL_BELOW: f64 = 0.80;
 
 /// The CMP section: a 16-core SST chip on the memory-bound workload,
 /// serial vs. 4 simulation threads.
@@ -123,7 +123,7 @@ options:
   --out PATH         where to write the JSON report
                      (default: BENCH_hotloop.json)
   --check            compare against the existing report at --out PATH:
-                     warn below 90% of its geomean, fail below 75%
+                     warn below 90% of its geomean, fail below 80%
   --scale S          smoke|full (default smoke)
   --seed N           workload seed (default 12345)
   --models a,b,..    io scout ea sst o32 o64 o128 (default io,scout,ea,sst,o128)

@@ -67,7 +67,7 @@ impl InOrderCore {
     /// core's memory port (see `Program::load_into`).
     pub fn new(cfg: InOrderConfig, id: usize, program: &Program) -> InOrderCore {
         InOrderCore {
-            frontend: Frontend::new(cfg.frontend, program.entry),
+            frontend: Frontend::new(cfg.frontend, program),
             cfg,
             id,
             regs: RegImage::new(),

@@ -399,6 +399,12 @@ pub enum InstClass {
 }
 
 impl InstClass {
+    /// Position of this class in [`InstClass::ALL`] (declaration order, so
+    /// the discriminant is the index — no scan).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Short display label used in statistics tables.
     pub fn label(self) -> &'static str {
         match self {
@@ -656,6 +662,13 @@ pub fn disasm(inst: Inst) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn class_index_matches_all_order() {
+        for (i, c) in InstClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?} out of declaration order");
+        }
+    }
 
     #[test]
     fn alu_eval_basics() {

@@ -28,6 +28,10 @@ struct Entry {
 pub struct MshrFile {
     entries: Vec<Entry>,
     capacity: usize,
+    /// Earliest `ready_at` among live entries (`Cycle::MAX` when empty);
+    /// lets the per-access reap degenerate to one compare until a fill
+    /// actually completes.
+    earliest_ready: Cycle,
     /// Total misses that found a matching in-flight entry.
     pub merged: u64,
     /// Total misses delayed because all registers were busy.
@@ -45,6 +49,7 @@ impl MshrFile {
         MshrFile {
             entries: Vec::with_capacity(capacity),
             capacity,
+            earliest_ready: Cycle::MAX,
             merged: 0,
             full_stalls: 0,
         }
@@ -56,7 +61,16 @@ impl MshrFile {
     }
 
     fn reap(&mut self, now: Cycle) {
+        if now < self.earliest_ready {
+            return; // nothing has completed yet
+        }
         self.entries.retain(|e| e.ready_at > now);
+        self.earliest_ready = self
+            .entries
+            .iter()
+            .map(|e| e.ready_at)
+            .min()
+            .unwrap_or(Cycle::MAX);
     }
 
     /// Number of registers in flight at `now`.
@@ -69,6 +83,9 @@ impl MshrFile {
     /// fill completes and whether the fill goes all the way to memory
     /// (`deep`, as recorded at [`MshrFile::insert`]).
     pub fn lookup(&mut self, now: Cycle, block: u64) -> Option<(Cycle, bool)> {
+        if self.entries.is_empty() {
+            return None; // common case on every demand access
+        }
         self.reap(now);
         self.entries
             .iter()
@@ -110,6 +127,7 @@ impl MshrFile {
             ready_at,
             deep,
         });
+        self.earliest_ready = self.earliest_ready.min(ready_at);
     }
 
     /// Notes a merged (secondary) miss, for statistics.

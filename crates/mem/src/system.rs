@@ -135,7 +135,9 @@ impl MemPort {
     }
 
     fn note_useful_prefetch(&mut self, block: u64) {
-        if self.prefetched.remove(&block) {
+        // The set is empty whenever no prefetch is outstanding (always, for
+        // workloads the stride table never locks onto) — skip the hash.
+        if !self.prefetched.is_empty() && self.prefetched.remove(&block) {
             self.useful_prefetches += 1;
         }
     }

@@ -209,6 +209,12 @@ pub struct OooCore {
     phantom: Option<([u64; 64], [bool; 64])>,
     /// Instructions consumed by the current phantom walk (bounded).
     phantom_count: usize,
+    /// Cycles strictly before this one are vouched issue no-ops: after an
+    /// issue scan, `issue_wake` bounds when the earliest waiting entry's
+    /// sources can arrive, and nothing else advances readiness — rename
+    /// (which adds entries) resets this to 0. Lets `tick` skip the
+    /// O(window) scan while the window drains a long miss.
+    issue_quiet_until: Cycle,
     commits: Vec<Commit>,
     /// Statistics.
     pub stats: OooStats,
@@ -222,7 +228,7 @@ impl OooCore {
         let mut free: Vec<usize> = (64..phys_count).rev().collect();
         free.shrink_to_fit();
         OooCore {
-            frontend: Frontend::new(cfg.frontend, program.entry),
+            frontend: Frontend::new(cfg.frontend, program),
             cfg,
             id,
             future: [0; 64],
@@ -239,6 +245,7 @@ impl OooCore {
             fetch_blocked_on: None,
             phantom: None,
             phantom_count: 0,
+            issue_quiet_until: 0,
             commits: Vec::new(),
             stats: OooStats::default(),
         }
@@ -480,6 +487,8 @@ impl OooCore {
                 actual_next,
             });
             self.stats.rob_high_water = self.stats.rob_high_water.max(self.rob.len());
+            // A fresh entry may be issuable immediately: drop the memo.
+            self.issue_quiet_until = 0;
 
             if inst == Inst::Halt {
                 // Stop consuming; the halt commits when it reaches the head.
@@ -541,8 +550,16 @@ impl OooCore {
         let mut squash_at: Option<(Seq, u64)> = None;
         let mut redirect: Option<(Cycle, u64)> = None;
 
+        // Earliest source-arrival among still-waiting entries, collected
+        // during the scan itself; on a zero-issue scan it becomes the
+        // issue-quiet memo (no extra walk). Entries that are ready but
+        // held back for another reason (port, store data) must retry next
+        // cycle, so they pin the memo to "scan again".
+        let mut wake = Cycle::MAX;
+        let mut blocked_now = false;
         for idx in 0..self.rob.len() {
             if issued >= self.cfg.issue_width {
+                blocked_now = true;
                 break;
             }
             let e = &self.rob[idx];
@@ -558,12 +575,14 @@ impl OooCore {
                 .max()
                 .unwrap_or(0);
             if ready > now {
+                wake = wake.min(ready);
                 continue;
             }
 
             let inst = e.inst;
             let is_mem = inst.is_mem();
             if is_mem && mem_ops >= self.cfg.dcache_ports {
+                blocked_now = true;
                 continue;
             }
 
@@ -576,7 +595,10 @@ impl OooCore {
                             self.rob[idx].forwarded_from = Some(from);
                             now + 2
                         }
-                        ForwardState::WaitData => continue, // retry next cycle
+                        ForwardState::WaitData => {
+                            blocked_now = true;
+                            continue; // retry next cycle
+                        }
                         ForwardState::Memory => {
                             mem_ops += 1;
                             let kind = if matches!(inst, Inst::Prefetch { .. }) {
@@ -628,6 +650,15 @@ impl OooCore {
         if let Some((seq, pc)) = squash_at {
             self.squash_from(now, seq, pc);
         }
+
+        // Nothing issued and nothing can retry sooner: the scan is a
+        // provable no-op until `wake` (rename resets the memo when it adds
+        // an entry). An issuing or blocked scan reruns next cycle.
+        self.issue_quiet_until = if issued == 0 && !blocked_now && squash_at.is_none() {
+            wake
+        } else {
+            0
+        };
     }
 
     /// Forwarding decision for the load at window position `idx`.
@@ -860,7 +891,9 @@ impl Core for OooCore {
         debug_assert!(self.counts_consistent());
         self.frontend.tick(now, mem);
         self.commit(now, mem);
-        self.issue(now, mem);
+        if now >= self.issue_quiet_until {
+            self.issue(now, mem);
+        }
         self.rename(now, mem);
     }
 

@@ -67,8 +67,7 @@ impl RunResult {
 
     /// Fraction of committed instructions in `class`.
     pub fn mix_fraction(&self, class: InstClass) -> f64 {
-        let i = InstClass::ALL.iter().position(|&c| c == class).unwrap();
-        self.inst_mix[i] as f64 / self.insts.max(1) as f64
+        self.inst_mix[class.index()] as f64 / self.insts.max(1) as f64
     }
 }
 
@@ -134,9 +133,7 @@ impl System {
         let mut committed = 0u64;
         let mut inst_mix = [0u64; 10];
         let mut tally = |inst: sst_isa::Inst| {
-            let class = inst.class();
-            let i = InstClass::ALL.iter().position(|&c| c == class).unwrap();
-            inst_mix[i] += 1;
+            inst_mix[inst.class().index()] += 1;
         };
 
         let mut commits = Vec::new();

@@ -6,6 +6,22 @@
 //! renaming, which is the paper's key structural saving. Replay walks the
 //! queue in program order, possibly over multiple passes (entries whose
 //! inputs are still missing are retained for the next pass).
+//!
+//! # Storage
+//!
+//! Entries live in a slab (`slots` + free list) and program order is a
+//! separate vector of slot ids kept sorted by sequence number. Because
+//! sequence numbers are strictly increasing, every by-seq lookup
+//! ([`DeferredQueue::position`], [`DeferredQueue::remove_seq`],
+//! [`DeferredQueue::set_data_ready`]) is a binary search over that small
+//! id vector, and removal shifts 4-byte ids instead of whole entries. A
+//! lazily-validated min-heap caches [`DeferredQueue::next_data_ready`], so
+//! the per-pass wake computation stops being an O(n) scan per call. This
+//! replaced linear scans that dominated replay-heavy runs (`ea`/`sst` on
+//! the commercial workloads).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use sst_isa::Inst;
 use sst_mem::Cycle;
@@ -40,14 +56,42 @@ pub struct DqEntry {
     pub data_ready_at: Option<Cycle>,
 }
 
-/// A bounded FIFO of deferred instructions.
+/// One slab slot: the entry plus replay-side bookkeeping that is not part
+/// of the architectural defer record.
+#[derive(Clone, Debug)]
+struct Slot {
+    entry: DqEntry,
+    /// Input-ready but stuck behind an older unresolved store
+    /// (`read_overlay` said wait). Only a store resolution can unstick it,
+    /// so the pass-done wake computation skips blocked entries — they have
+    /// no knowable wake time of their own. Cleared whenever a store
+    /// resolves ([`DeferredQueue::clear_blocked`]).
+    blocked: bool,
+}
+
+/// A bounded, program-ordered queue of deferred instructions.
 ///
 /// The queue preserves program order. [`DeferredQueue::retain_ordered`]
 /// supports multi-pass replay: completed entries are removed, stuck ones
 /// stay in place.
 #[derive(Clone, Debug)]
 pub struct DeferredQueue {
-    entries: Vec<DqEntry>,
+    slots: Vec<Slot>,
+    /// Free slot indices.
+    free: Vec<u32>,
+    /// Live slot indices in program order (ascending seq).
+    order: Vec<u32>,
+    /// Cached `(data_ready_at, seq)` pairs, lazily validated: stale pairs
+    /// (removed/squashed entries, superseded ready times) are discarded
+    /// when they surface at the top.
+    ready_heap: BinaryHeap<Reverse<(Cycle, Seq)>>,
+    /// Bumped on every squash/clear. Replay cursors snapshot it so a
+    /// cursor that survived a mid-pass squash is detected as stale instead
+    /// of silently resuming against reshuffled contents.
+    generation: u64,
+    /// Live entries currently marked blocked (kept exact so
+    /// [`DeferredQueue::any_blocked`] is O(1)).
+    blocked_count: usize,
     capacity: usize,
     /// Maximum occupancy ever observed (reports).
     pub high_water: usize,
@@ -64,7 +108,12 @@ impl DeferredQueue {
     pub fn new(capacity: usize) -> DeferredQueue {
         assert!(capacity > 0, "DQ needs at least one entry");
         DeferredQueue {
-            entries: Vec::new(),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            order: Vec::with_capacity(capacity),
+            ready_heap: BinaryHeap::new(),
+            generation: 0,
+            blocked_count: 0,
             capacity,
             high_water: 0,
             total_deferred: 0,
@@ -78,17 +127,24 @@ impl DeferredQueue {
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.order.len()
     }
 
     /// `true` when empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.order.is_empty()
     }
 
     /// `true` when no more instructions can be deferred.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.order.len() >= self.capacity
+    }
+
+    /// The squash/clear epoch counter (see [`DeferredQueue::position`]
+    /// callers: a replay cursor taken under one generation must not be
+    /// resumed under another).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Appends an entry in program order.
@@ -99,46 +155,166 @@ impl DeferredQueue {
     /// of overflowing) or if `entry.seq` breaks program order.
     pub fn push(&mut self, entry: DqEntry) {
         assert!(!self.is_full(), "DQ overflow: caller must stall when full");
-        if let Some(last) = self.entries.last() {
-            assert!(last.seq < entry.seq, "DQ entries must be program-ordered");
+        if let Some(last) = self.order.last() {
+            assert!(
+                self.slots[*last as usize].entry.seq < entry.seq,
+                "DQ entries must be program-ordered"
+            );
         }
-        self.entries.push(entry);
+        if let Some(ready) = entry.data_ready_at {
+            self.ready_heap.push(Reverse((ready, entry.seq)));
+        }
+        let slot = Slot {
+            entry,
+            blocked: false,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.order.push(idx);
         self.total_deferred += 1;
-        self.high_water = self.high_water.max(self.entries.len());
+        self.high_water = self.high_water.max(self.order.len());
     }
 
     /// Iterates entries oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &DqEntry> {
-        self.entries.iter()
+        self.order.iter().map(|&i| &self.slots[i as usize].entry)
+    }
+
+    /// Iterates `(entry, blocked)` pairs oldest-first (the pass-done wake
+    /// scan skips blocked entries).
+    pub fn iter_blocked(&self) -> impl Iterator<Item = (&DqEntry, bool)> {
+        self.order.iter().map(|&i| {
+            let s = &self.slots[i as usize];
+            (&s.entry, s.blocked)
+        })
+    }
+
+    /// Number of live entries older than `seq` — equivalently, the
+    /// position a cursor at `seq` starts from. O(log n).
+    pub fn position(&self, seq: Seq) -> usize {
+        self.order
+            .partition_point(|&i| self.slots[i as usize].entry.seq < seq)
+    }
+
+    /// The entry at program-order position `pos` (0 = oldest).
+    pub fn get(&self, pos: usize) -> Option<&DqEntry> {
+        self.order
+            .get(pos)
+            .map(|&i| &self.slots[i as usize].entry)
+    }
+
+    /// Sequence number of the oldest entry.
+    pub fn first_seq(&self) -> Option<Seq> {
+        self.get(0).map(|e| e.seq)
     }
 
     /// One replay pass: calls `f` on each entry oldest-first; entries for
     /// which `f` returns `true` are removed (completed), the rest stay in
     /// order. Returns the number removed.
     pub fn retain_ordered(&mut self, mut f: impl FnMut(&DqEntry) -> bool) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|e| !f(e));
-        before - self.entries.len()
+        let order = std::mem::take(&mut self.order);
+        let before = order.len();
+        for &i in &order {
+            if f(&self.slots[i as usize].entry) {
+                self.unblock_slot(i);
+                self.free.push(i);
+            } else {
+                self.order.push(i);
+            }
+        }
+        before - self.order.len()
     }
 
-    /// Drops every entry with `seq >= from` (epoch squash).
+    /// Drops every entry with `seq >= from` (epoch squash) and bumps the
+    /// generation.
     pub fn squash_from(&mut self, from: Seq) {
-        self.entries.retain(|e| e.seq < from);
+        let keep = self.position(from);
+        for i in self.order.split_off(keep) {
+            self.unblock_slot(i);
+            self.free.push(i);
+        }
+        self.generation += 1;
     }
 
-    /// Clears the queue.
+    /// Clears the queue and bumps the generation.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        for i in std::mem::take(&mut self.order) {
+            self.slots[i as usize].blocked = false;
+            self.free.push(i);
+        }
+        self.blocked_count = 0;
+        self.ready_heap.clear();
+        self.generation += 1;
     }
 
-    /// Earliest `data_ready_at` among entries still waiting on data, if any.
-    pub fn next_data_ready(&self) -> Option<Cycle> {
-        self.entries.iter().filter_map(|e| e.data_ready_at).min()
+    /// Drops a slot's blocked mark (entry leaving the queue), keeping the
+    /// blocked count exact.
+    fn unblock_slot(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        if slot.blocked {
+            slot.blocked = false;
+            self.blocked_count -= 1;
+        }
     }
 
-    /// Direct slice view (replay scans this).
-    pub fn as_slice(&self) -> &[DqEntry] {
-        &self.entries
+    /// Marks entry `seq` as blocked behind an older unresolved store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such entry exists.
+    pub fn mark_blocked(&mut self, seq: Seq) {
+        let pos = self.position(seq);
+        let idx = self.order[pos] as usize;
+        assert_eq!(self.slots[idx].entry.seq, seq, "blocking a missing entry");
+        if !self.slots[idx].blocked {
+            self.slots[idx].blocked = true;
+            self.blocked_count += 1;
+        }
+    }
+
+    /// Clears every blocked mark (a store resolved; any blocked entry may
+    /// now be able to proceed).
+    pub fn clear_blocked(&mut self) {
+        if self.blocked_count == 0 {
+            return;
+        }
+        for &i in &self.order {
+            self.slots[i as usize].blocked = false;
+        }
+        self.blocked_count = 0;
+    }
+
+    /// `true` while any live entry is marked blocked (input-ready but
+    /// stuck behind an unresolved store). O(1).
+    pub fn any_blocked(&self) -> bool {
+        self.blocked_count > 0
+    }
+
+    /// Earliest `data_ready_at` among entries still waiting on data, if
+    /// any. Served from the cached heap; stale top entries are discarded
+    /// on the way.
+    pub fn next_data_ready(&mut self) -> Option<Cycle> {
+        while let Some(&Reverse((ready, seq))) = self.ready_heap.peek() {
+            let pos = self.position(seq);
+            let live = self
+                .order
+                .get(pos)
+                .map(|&i| &self.slots[i as usize].entry)
+                .is_some_and(|e| e.seq == seq && e.data_ready_at == Some(ready));
+            if live {
+                return Some(ready);
+            }
+            self.ready_heap.pop();
+        }
+        None
     }
 
     /// Removes the entry with sequence `seq` (after successful replay).
@@ -147,12 +323,17 @@ impl DeferredQueue {
     ///
     /// Panics if no such entry exists.
     pub fn remove_seq(&mut self, seq: Seq) -> DqEntry {
+        let pos = self.position(seq);
         let idx = self
-            .entries
-            .iter()
-            .position(|e| e.seq == seq)
+            .order
+            .get(pos)
+            .copied()
+            .filter(|&i| self.slots[i as usize].entry.seq == seq)
             .expect("removing a DQ entry that is not present");
-        self.entries.remove(idx)
+        self.order.remove(pos);
+        self.unblock_slot(idx);
+        self.free.push(idx);
+        self.slots[idx as usize].entry
     }
 
     /// Updates the data-ready cycle of entry `seq` (re-deferral of a
@@ -162,12 +343,15 @@ impl DeferredQueue {
     ///
     /// Panics if no such entry exists.
     pub fn set_data_ready(&mut self, seq: Seq, ready: Cycle) {
-        let e = self
-            .entries
-            .iter_mut()
-            .find(|e| e.seq == seq)
+        let pos = self.position(seq);
+        let idx = self
+            .order
+            .get(pos)
+            .copied()
+            .filter(|&i| self.slots[i as usize].entry.seq == seq)
             .expect("updating a DQ entry that is not present");
-        e.data_ready_at = Some(ready);
+        self.slots[idx as usize].entry.data_ready_at = Some(ready);
+        self.ready_heap.push(Reverse((ready, seq)));
     }
 }
 
@@ -263,5 +447,134 @@ mod tests {
         q.push(e2);
         q.push(entry(3)); // no data dependence
         assert_eq!(q.next_data_ready(), Some(300));
+    }
+
+    #[test]
+    fn next_data_ready_survives_removal_and_update() {
+        let mut q = DeferredQueue::new(8);
+        let mut e1 = entry(1);
+        e1.data_ready_at = Some(500);
+        let mut e2 = entry(2);
+        e2.data_ready_at = Some(300);
+        q.push(e1);
+        q.push(e2);
+        // Removing the minimum exposes the next one (stale heap top is
+        // discarded, not returned).
+        q.remove_seq(2);
+        assert_eq!(q.next_data_ready(), Some(500));
+        // A re-deferral supersedes the old time.
+        q.set_data_ready(1, 900);
+        assert_eq!(q.next_data_ready(), Some(900));
+        q.remove_seq(1);
+        assert_eq!(q.next_data_ready(), None);
+    }
+
+    #[test]
+    fn slab_reuses_slots() {
+        let mut q = DeferredQueue::new(4);
+        for s in 1..=4 {
+            q.push(entry(s));
+        }
+        for s in 1..=4 {
+            q.remove_seq(s);
+        }
+        for s in 10..=13 {
+            q.push(entry(s));
+        }
+        assert_eq!(q.len(), 4);
+        let seqs: Vec<Seq> = q.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![10, 11, 12, 13]);
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn position_and_get_walk_program_order() {
+        let mut q = DeferredQueue::new(8);
+        for s in [2, 4, 9] {
+            q.push(entry(s));
+        }
+        assert_eq!(q.position(0), 0);
+        assert_eq!(q.position(4), 1);
+        assert_eq!(q.position(5), 2);
+        assert_eq!(q.position(100), 3);
+        assert_eq!(q.get(1).unwrap().seq, 4);
+        assert!(q.get(3).is_none());
+        assert_eq!(q.first_seq(), Some(2));
+    }
+
+    #[test]
+    fn squash_bumps_generation_mid_pass() {
+        // A replay pass holds `(cursor, generation)`; squashing during the
+        // pass must invalidate the cursor even when the position numbers
+        // still look plausible afterwards.
+        let mut q = DeferredQueue::new(8);
+        for s in 1..=6 {
+            q.push(entry(s));
+        }
+        let gen = q.generation();
+        let cursor = 4; // mid-pass: entries 1..=3 examined
+        q.squash_from(3); // rollback while the pass is parked
+        assert_ne!(q.generation(), gen, "squash must bump the generation");
+        // Stale-cursor resume would skip the surviving entries entirely:
+        assert_eq!(q.position(cursor), q.len());
+        // a generation-checked resume restarts from 0 instead.
+        q.push(entry(10));
+        assert_ne!(q.generation(), gen);
+        assert_eq!(q.position(0), 0);
+    }
+
+    #[test]
+    fn blocked_marks_set_and_clear() {
+        let mut q = DeferredQueue::new(8);
+        for s in 1..=3 {
+            q.push(entry(s));
+        }
+        q.mark_blocked(2);
+        let flags: Vec<bool> = q.iter_blocked().map(|(_, b)| b).collect();
+        assert_eq!(flags, vec![false, true, false]);
+        q.clear_blocked();
+        assert!(q.iter_blocked().all(|(_, b)| !b));
+        // Slot reuse must not leak a stale blocked mark.
+        q.mark_blocked(3);
+        q.remove_seq(3);
+        q.push(entry(9));
+        assert!(
+            q.iter_blocked().all(|(_, b)| !b),
+            "fresh entry in a reused slot starts unblocked"
+        );
+    }
+
+    /// Every path that drops entries must keep the blocked count exact —
+    /// a leaked count wedges `any_blocked()` high, which permanently
+    /// suspends an EA core's ahead strand.
+    #[test]
+    fn blocked_count_survives_every_removal_path() {
+        let mut q = DeferredQueue::new(8);
+        for s in 1..=4 {
+            q.push(entry(s));
+        }
+        q.mark_blocked(2);
+        q.mark_blocked(4);
+        assert!(q.any_blocked());
+
+        q.remove_seq(2);
+        assert!(q.any_blocked(), "seq 4 still blocked");
+        q.squash_from(4);
+        assert!(!q.any_blocked(), "squash dropped the last blocked entry");
+
+        q.push(entry(10));
+        q.mark_blocked(10);
+        q.retain_ordered(|e| e.seq == 10);
+        assert!(!q.any_blocked(), "retain dropped the blocked entry");
+
+        q.push(entry(11));
+        q.mark_blocked(11);
+        q.clear();
+        assert!(!q.any_blocked(), "clear resets the count");
+        q.push(entry(12));
+        assert!(
+            q.iter_blocked().all(|(_, b)| !b),
+            "reused slot after clear starts unblocked"
+        );
     }
 }

@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 
 use sst_branch::{BranchKind, BranchUnit, Prediction, PredictorKind};
-use sst_isa::{decode, Inst, Reg, INST_BYTES};
+use sst_isa::{decode, Inst, Program, Reg, INST_BYTES};
 use sst_mem::{AccessKind, Cycle, MemBus};
 
 /// Frontend configuration.
@@ -27,6 +27,12 @@ pub struct FrontendConfig {
     pub ras_depth: usize,
     /// Bubble cycles charged on every redirect (pipeline refill).
     pub redirect_penalty: Cycle,
+    /// Decode each text-segment instruction once and replay the cached
+    /// [`Inst`] on later fetches of the same PC. Purely an implementation
+    /// speedup: the timing path (I-cache access per line) is unchanged, so
+    /// runs with the cache on and off are byte-identical. Off exists for
+    /// the equivalence suite.
+    pub decode_cache: bool,
 }
 
 impl Default for FrontendConfig {
@@ -38,6 +44,7 @@ impl Default for FrontendConfig {
             btb_entries: 1024,
             ras_depth: 8,
             redirect_penalty: 6,
+            decode_cache: true,
         }
     }
 }
@@ -97,6 +104,23 @@ pub struct Frontend {
     bad_path: bool,
     /// Fetched a `halt`; stop until redirected.
     saw_halt: bool,
+    /// PC of the fetched `halt` (set with `saw_halt`, cleared by redirect).
+    halt_pc: Option<u64>,
+    /// Base PC of the program's text segment (decode-cache index origin).
+    text_base: u64,
+    /// Decode-once cache: one slot per text-segment instruction, indexed by
+    /// `(pc - text_base) / 4`, filled lazily on first decode. Empty when
+    /// [`FrontendConfig::decode_cache`] is off. There is no self-modifying
+    ///-code path in this machine (speculative stores drain only at epoch
+    /// commit, and no workload writes its own text), so entries stay valid
+    /// for the life of the run; [`Frontend::invalidate_decoded`] is the
+    /// hook an SMC path would have to call.
+    decoded: Vec<Option<Inst>>,
+    /// The I-line held in the fetch buffer: fetch re-accesses the I-cache
+    /// only when it leaves this line (one timing access per line, as a
+    /// real fetch buffer behaves), not once per cycle. Invalidated by
+    /// [`Frontend::redirect`] so a resteer always re-checks the cache.
+    fetch_line: Option<u64>,
     /// Fetch-cycle statistics.
     pub fetched_insts: u64,
     /// Cycles fetch was blocked on the I-cache.
@@ -104,19 +128,48 @@ pub struct Frontend {
 }
 
 impl Frontend {
-    /// Creates a frontend fetching from `entry`.
-    pub fn new(cfg: FrontendConfig, entry: u64) -> Frontend {
+    /// Creates a frontend fetching from `program.entry`, with the decode
+    /// cache sized to the program's text segment.
+    pub fn new(cfg: FrontendConfig, program: &Program) -> Frontend {
+        let slots = if cfg.decode_cache {
+            program.len_insts()
+        } else {
+            0
+        };
         Frontend {
             unit: BranchUnit::new(cfg.predictor, cfg.btb_entries, cfg.ras_depth),
             cfg,
-            fetch_pc: entry,
+            fetch_pc: program.entry,
             queue: VecDeque::new(),
             stalled_until: 0,
             waiting_indirect: false,
             bad_path: false,
             saw_halt: false,
+            halt_pc: None,
+            text_base: program.text_base,
+            decoded: vec![None; slots],
+            fetch_line: None,
             fetched_insts: 0,
             icache_stall_cycles: 0,
+        }
+    }
+
+    /// Decode-cache slot for `pc`, if `pc` is a cacheable text-segment
+    /// instruction address.
+    fn decoded_slot(&self, pc: u64) -> Option<usize> {
+        let off = pc.wrapping_sub(self.text_base);
+        if off % INST_BYTES != 0 {
+            return None;
+        }
+        let idx = (off / INST_BYTES) as usize;
+        (idx < self.decoded.len()).then_some(idx)
+    }
+
+    /// Drops the cached decode for `pc` (the self-modifying-code hook; no
+    /// current core path stores into text, so nothing calls this today).
+    pub fn invalidate_decoded(&mut self, pc: u64) {
+        if let Some(idx) = self.decoded_slot(pc) {
+            self.decoded[idx] = None;
         }
     }
 
@@ -150,9 +203,18 @@ impl Frontend {
     /// instruction, or the fetch PC if the queue is empty. `None` when the
     /// continuation is unknown (fetch parked on undecodable wrong-path
     /// bytes). SST cores checkpoint at this PC when closing an epoch.
+    ///
+    /// When fetch has stopped on a `halt`, the continuation is the halt
+    /// itself — never a PC past it. With the halt still queued that falls
+    /// out of the first arm; once the core has consumed it the recorded
+    /// halt PC is returned explicitly, so an epoch closing at that moment
+    /// checkpoints at the halt (a rollback then re-fetches and re-commits
+    /// it) rather than at whatever `fetch_pc` happens to hold.
     pub fn resume_pc(&self) -> Option<u64> {
         if let Some(f) = self.queue.front() {
             Some(f.pc)
+        } else if self.saw_halt {
+            self.halt_pc
         } else if self.bad_path || self.waiting_indirect {
             None
         } else {
@@ -176,7 +238,6 @@ impl Frontend {
             return;
         }
         let line_bytes = mem.line_bytes();
-        let mut line_done: Option<u64> = None;
 
         for _ in 0..self.cfg.width {
             if self.queue.len() >= self.cfg.queue_depth {
@@ -184,24 +245,41 @@ impl Frontend {
             }
             let pc = self.fetch_pc;
             let line = pc & !(line_bytes - 1);
-            if line_done != Some(line) {
+            if self.fetch_line != Some(line) {
                 let out = mem.access(now, AccessKind::IFetch, pc);
                 if out.ready_at > now + mem.config().l1_latency {
-                    // I-cache miss: resume when the line arrives.
+                    // I-cache miss: resume when the line arrives. The
+                    // detection cycle is itself a blocked fetch cycle, so
+                    // it is charged here; `tick` charges the remaining
+                    // `(now, stalled_until)` window one cycle at a time
+                    // (and `note_skipped` bulk-credits the same window),
+                    // for a total of `stalled_until - now` per miss.
                     self.stalled_until = out.ready_at;
+                    self.icache_stall_cycles += 1;
                     return;
                 }
-                line_done = Some(line);
+                self.fetch_line = Some(line);
             }
 
-            let word = mem.read(pc, 4) as u32;
-            let inst = match decode(word) {
-                Ok(i) => i,
-                Err(_) => {
-                    // Wrong-path fetch into non-text bytes; park until the
-                    // core redirects.
-                    self.bad_path = true;
-                    return;
+            let slot = self.decoded_slot(pc);
+            let inst = match slot.and_then(|i| self.decoded[i]) {
+                Some(i) => i,
+                None => {
+                    let word = mem.read(pc, 4) as u32;
+                    match decode(word) {
+                        Ok(i) => {
+                            if let Some(s) = slot {
+                                self.decoded[s] = Some(i);
+                            }
+                            i
+                        }
+                        Err(_) => {
+                            // Wrong-path fetch into non-text bytes; park
+                            // until the core redirects.
+                            self.bad_path = true;
+                            return;
+                        }
+                    }
                 }
             };
 
@@ -254,6 +332,7 @@ impl Frontend {
 
             if inst == Inst::Halt {
                 self.saw_halt = true;
+                self.halt_pc = Some(pc);
                 return;
             }
             self.fetch_pc = pred_next_pc;
@@ -298,6 +377,8 @@ impl Frontend {
         self.waiting_indirect = false;
         self.bad_path = false;
         self.saw_halt = false;
+        self.halt_pc = None;
+        self.fetch_line = None;
         self.unit.repair_ras();
     }
 
@@ -321,7 +402,7 @@ mod tests {
         let p = a.finish().unwrap();
         let mut ms = MemSystem::new(&MemConfig::default(), 1);
         p.load_into(ms.mem_mut());
-        let fe = Frontend::new(FrontendConfig::default(), p.entry);
+        let fe = Frontend::new(FrontendConfig::default(), &p);
         (fe, ms)
     }
 
@@ -361,6 +442,79 @@ mod tests {
         assert_eq!(fe.queued(), 0, "cold I$ miss produces nothing");
         let cycles = run_until(&mut fe, &mut ms, 1, 10_000);
         assert!(cycles > 100, "stalled for the memory round trip");
+    }
+
+    #[test]
+    fn icache_stall_count_includes_detection_cycle() {
+        let (mut fe, mut ms) = setup(|a| {
+            a.nop();
+            a.halt();
+        });
+        let mut now = 0;
+        while fe.queued() == 0 {
+            fe.tick(now, &mut ms.bus(0));
+            now += 1;
+            assert!(now < 10_000, "fetch never unblocked");
+        }
+        // The first instruction arrived on cycle `now - 1`; every earlier
+        // cycle was blocked on the cold I-cache miss, *including* the
+        // detection cycle itself.
+        assert_eq!(fe.icache_stall_cycles, now - 1);
+        assert!(fe.icache_stall_cycles > 100, "cold miss went off-chip");
+    }
+
+    #[test]
+    fn resume_pc_is_the_halt_even_after_pop() {
+        let (mut fe, mut ms) = setup(|a| {
+            a.nop();
+            a.halt();
+        });
+        run_until(&mut fe, &mut ms, 2, 10_000);
+        let halt_pc = fe.queue.back().unwrap().pc;
+        assert_eq!(fe.resume_pc(), Some(fe.queue.front().unwrap().pc));
+        fe.pop(); // nop
+        assert_eq!(fe.resume_pc(), Some(halt_pc), "halt at queue head");
+        let h = fe.pop().unwrap();
+        assert_eq!(h.inst, Inst::Halt);
+        assert_eq!(fe.queued(), 0);
+        assert_eq!(
+            fe.resume_pc(),
+            Some(halt_pc),
+            "continuation after consuming the halt is the halt itself"
+        );
+    }
+
+    #[test]
+    fn decode_cache_refetch_matches_and_invalidates() {
+        let (mut fe, mut ms) = setup(|a| {
+            a.addi(Reg::x(1), Reg::ZERO, 7);
+            a.addi(Reg::x(2), Reg::x(1), 1);
+            a.halt();
+        });
+        run_until(&mut fe, &mut ms, 3, 10_000);
+        let first: Vec<_> = std::iter::from_fn(|| fe.pop()).collect();
+        // Refetch the same PCs: now served from the decode cache.
+        fe.redirect(20_000, first[0].pc);
+        let mut now = 20_000;
+        while fe.queued() < 3 && now < 30_000 {
+            fe.tick(now, &mut ms.bus(0));
+            now += 1;
+        }
+        let second: Vec<_> = std::iter::from_fn(|| fe.pop()).collect();
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.pc, b.pc);
+            assert_eq!(a.inst, b.inst, "cached decode matches fresh decode");
+        }
+        // The SMC hook drops a slot; the next fetch re-decodes and refills.
+        fe.invalidate_decoded(first[0].pc);
+        fe.redirect(40_000, first[0].pc);
+        let mut now = 40_000;
+        while fe.queued() < 1 && now < 50_000 {
+            fe.tick(now, &mut ms.bus(0));
+            now += 1;
+        }
+        assert_eq!(fe.pop().unwrap().inst, first[0].inst);
     }
 
     #[test]

@@ -5,6 +5,17 @@
 //! order for forwarding, and the buffer's conservative answers implement
 //! the paper's "no memory-disambiguation hardware" design point: a load
 //! behind an unknown-address store simply defers.
+//!
+//! # Storage
+//!
+//! Entries sit in a seq-sorted `VecDeque` (commit drains pop the front in
+//! O(1) per store), so [`StoreBuffer::resolve`] is a binary search rather
+//! than a scan. A sorted side index of unresolved-address seqs makes
+//! [`StoreBuffer::unknown_addr_before`] — probed for every speculative
+//! load the ahead strand issues and every replayed load — a single
+//! front-element compare.
+
+use std::collections::VecDeque;
 
 use sst_mem::Cycle;
 
@@ -64,7 +75,11 @@ pub struct DrainedStore {
 /// A bounded, program-ordered speculative store buffer.
 #[derive(Clone, Debug)]
 pub struct StoreBuffer {
-    entries: Vec<StoreEntry>,
+    entries: VecDeque<StoreEntry>,
+    /// Seqs of entries whose address is still unresolved, ascending (a
+    /// subsequence of `entries`' seqs: pushes append, resolves and
+    /// squashes delete in place).
+    unresolved_addrs: VecDeque<Seq>,
     capacity: usize,
     /// Maximum occupancy observed.
     pub high_water: usize,
@@ -85,7 +100,8 @@ impl StoreBuffer {
     pub fn new(capacity: usize) -> StoreBuffer {
         assert!(capacity > 0, "store buffer needs at least one entry");
         StoreBuffer {
-            entries: Vec::new(),
+            entries: VecDeque::with_capacity(capacity),
+            unresolved_addrs: VecDeque::new(),
             capacity,
             high_water: 0,
             total_stores: 0,
@@ -124,13 +140,16 @@ impl StoreBuffer {
             !self.is_full(),
             "store buffer overflow: caller must stall when full"
         );
-        if let Some(last) = self.entries.last() {
+        if let Some(last) = self.entries.back() {
             assert!(
                 last.seq < entry.seq,
                 "store buffer entries must be program-ordered"
             );
         }
-        self.entries.push(entry);
+        if entry.addr.is_none() {
+            self.unresolved_addrs.push_back(entry.seq);
+        }
+        self.entries.push_back(entry);
         self.total_stores += 1;
         self.high_water = self.high_water.max(self.entries.len());
     }
@@ -141,11 +160,18 @@ impl StoreBuffer {
     ///
     /// Panics if no entry with `seq` exists.
     pub fn resolve(&mut self, seq: Seq, addr: u64, value: u64) {
-        let e = self
+        let idx = self
             .entries
-            .iter_mut()
-            .find(|e| e.seq == seq)
+            .binary_search_by_key(&seq, |e| e.seq)
             .expect("resolving a store that is not buffered");
+        let e = &mut self.entries[idx];
+        if e.addr.is_none() {
+            let u = self
+                .unresolved_addrs
+                .binary_search(&seq)
+                .expect("unresolved-address index out of sync");
+            self.unresolved_addrs.remove(u);
+        }
         e.addr = Some(addr);
         e.value = Some(value);
     }
@@ -192,40 +218,52 @@ impl StoreBuffer {
     }
 
     /// `true` if any store older than `seq` has an unresolved address.
+    /// O(1): the oldest unresolved address is the front of the side index.
     pub fn unknown_addr_before(&self, seq: Seq) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.seq < seq && e.addr.is_none())
+        self.unresolved_addrs.front().is_some_and(|&s| s < seq)
     }
 
     /// Commits and removes every store with `seq <= through`, in program
-    /// order.
+    /// order, appending to `out` (callers reuse one buffer across
+    /// commits).
     ///
     /// # Panics
     ///
     /// Panics if any drained store is still unresolved — commit of an epoch
     /// with unresolved stores is a core-model bug.
+    pub fn drain_through_into(&mut self, through: Seq, out: &mut Vec<DrainedStore>) {
+        while let Some(e) = self.entries.front() {
+            if e.seq > through {
+                break;
+            }
+            let e = self.entries.pop_front().expect("checked front");
+            assert!(
+                self.unresolved_addrs.front() != Some(&e.seq),
+                "committing store with unknown address"
+            );
+            out.push(DrainedStore {
+                seq: e.seq,
+                addr: e.addr.expect("committing store with unknown address"),
+                bytes: e.bytes,
+                value: e.value.expect("committing store with unknown data"),
+            });
+        }
+    }
+
+    /// [`StoreBuffer::drain_through_into`] into a fresh vector (tests and
+    /// one-shot callers).
     pub fn drain_through(&mut self, through: Seq) -> Vec<DrainedStore> {
         let mut out = Vec::new();
-        self.entries.retain(|e| {
-            if e.seq <= through {
-                out.push(DrainedStore {
-                    seq: e.seq,
-                    addr: e.addr.expect("committing store with unknown address"),
-                    bytes: e.bytes,
-                    value: e.value.expect("committing store with unknown data"),
-                });
-                false
-            } else {
-                true
-            }
-        });
+        self.drain_through_into(through, &mut out);
         out
     }
 
     /// Squashes every store with `seq >= from` (epoch rollback).
     pub fn squash_from(&mut self, from: Seq) {
-        self.entries.retain(|e| e.seq < from);
+        let keep = self.entries.partition_point(|e| e.seq < from);
+        self.entries.truncate(keep);
+        let keep_u = self.unresolved_addrs.partition_point(|&s| s < from);
+        self.unresolved_addrs.truncate(keep_u);
     }
 
     /// Reads `bytes` at `addr` as seen by the load at `seq`: backing memory
@@ -399,6 +437,45 @@ mod tests {
         sb.squash_from(5);
         assert_eq!(sb.len(), 1);
         assert_eq!(sb.iter().next().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn unresolved_index_tracks_squash_and_resolve() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(StoreEntry {
+            seq: 2,
+            addr: None,
+            bytes: 8,
+            value: None,
+        });
+        sb.push(store(3, 0x100, 8, 7));
+        sb.push(StoreEntry {
+            seq: 5,
+            addr: None,
+            bytes: 8,
+            value: None,
+        });
+        assert!(sb.unknown_addr_before(10));
+        sb.squash_from(4);
+        assert!(sb.unknown_addr_before(10), "seq 2 still unresolved");
+        assert!(!sb.unknown_addr_before(2));
+        sb.resolve(2, 0x200, 1);
+        assert!(!sb.unknown_addr_before(10), "index emptied by resolve");
+        assert_eq!(sb.len(), 2);
+    }
+
+    #[test]
+    fn drain_into_reuses_buffer() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(store(1, 0x100, 8, 1));
+        sb.push(store(4, 0x200, 8, 2));
+        let mut buf = Vec::new();
+        sb.drain_through_into(2, &mut buf);
+        assert_eq!(buf.len(), 1);
+        sb.drain_through_into(9, &mut buf);
+        assert_eq!(buf.len(), 2, "appends, does not clear");
+        assert_eq!(buf[1].seq, 4);
+        assert!(sb.is_empty());
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn warm_setup(n_nops: usize, width: usize, depth: usize) -> (Frontend, MemSystem
         queue_depth: depth,
         ..FrontendConfig::default()
     };
-    let mut fe = Frontend::new(cfg, p.entry);
+    let mut fe = Frontend::new(cfg, &p);
     // Warm the I-cache by running fetch until something arrives, then
     // flushing back to the entry.
     let mut now = 0;
