@@ -51,6 +51,17 @@ pub struct SstConfig {
     /// with it on and off are byte-identical (the equivalence suite pins
     /// this).
     pub event_wakeup: bool,
+    /// Speculation-taint tracking (off by default): tag every line touch,
+    /// predictor update, and prefetcher training performed between
+    /// checkpoint creation and rollback, and sweep the squashed range
+    /// into a leakage record at each rollback (experiment E13, "does SST
+    /// leak?"). Purely observational: recording and the rollback sweep
+    /// never touch timing state, so runs with the flag on and off are
+    /// byte-identical — same cycles, commits, counters, and memory
+    /// statistics (the taint equivalence test pins this). The collected
+    /// summary is reported through `Core::leakage`, never through
+    /// `Core::counters`.
+    pub taint: bool,
 }
 
 impl SstConfig {
@@ -69,6 +80,7 @@ impl SstConfig {
             bypass_stall_window: 6,
             confidence_gate: false,
             event_wakeup: true,
+            taint: false,
         }
     }
 

@@ -7,7 +7,8 @@ use sst_isa::{Inst, Program, Reg};
 use sst_mem::{AccessKind, Cycle, MemBus};
 use sst_uarch::{
     execute, extend_load, mem_addr, Checkpoint, Commit, Core, DeferredQueue, DqEntry,
-    DrainedStore, FetchedInst, ForwardResult, Frontend, RegImage, Seq, StoreBuffer, StoreEntry,
+    DrainedStore, FetchedInst, ForwardResult, Frontend, LeakageSummary, RegImage, Seq,
+    SquashCounts, StoreBuffer, StoreEntry, TaintState,
 };
 
 use crate::{SstConfig, SstStats};
@@ -128,6 +129,10 @@ pub struct SstCore {
     pub trace: std::collections::VecDeque<String>,
     /// Whether [`SstCore::tr`] records into `trace` (`SST_TRACE` set).
     trace_on: bool,
+    /// Speculation-taint tracker ([`SstConfig::taint`]); `None` when the
+    /// layer is disabled. Purely observational — see the config flag's
+    /// byte-identity contract.
+    taint: Option<Box<TaintState>>,
     /// Statistics.
     pub stats: SstStats,
 }
@@ -141,6 +146,7 @@ impl SstCore {
             frontend: Frontend::new(cfg.frontend, program),
             dq: DeferredQueue::new(cfg.dq_entries),
             stb: StoreBuffer::new(cfg.stb_entries),
+            taint: cfg.taint.then(|| Box::new(TaintState::new())),
             cfg,
             id,
             spec: RegImage::new(),
@@ -234,6 +240,51 @@ impl SstCore {
 
     fn in_speculation(&self) -> bool {
         !self.epochs.is_empty()
+    }
+
+    // ------------------------------------------------------------ taint hooks
+    //
+    // All four hooks compile to a single `Option` discriminant test when
+    // the layer is off, and none of them touches timing state when it is
+    // on — the taint equivalence test holds runs byte-identical either
+    // way.
+
+    /// A speculative demand (load/store) access by `seq` touched `addr`'s
+    /// line and fed the prefetcher's training path.
+    fn taint_demand(&mut self, seq: Seq, addr: u64, mem: &MemBus) {
+        if let Some(t) = self.taint.as_mut() {
+            t.note_line(seq, mem.block_of(addr));
+            t.note_training(seq);
+        }
+    }
+
+    /// A speculative prefetch-kind access (store warm, prefetch inst) by
+    /// `seq` touched `addr`'s line.
+    fn taint_line(&mut self, seq: Seq, addr: u64, mem: &MemBus) {
+        if let Some(t) = self.taint.as_mut() {
+            t.note_line(seq, mem.block_of(addr));
+        }
+    }
+
+    /// A speculative instruction `seq` updated the branch predictor.
+    fn taint_predictor(&mut self, seq: Seq) {
+        if let Some(t) = self.taint.as_mut() {
+            t.note_predictor(seq);
+        }
+    }
+
+    /// An architectural (non-speculative) access demanded `addr`'s line:
+    /// if a squashed speculation had leaked it, the line is legitimate
+    /// after all.
+    fn taint_arch(&mut self, addr: u64, mem: &MemBus) {
+        if let Some(t) = self.taint.as_mut() {
+            t.note_architectural(mem.block_of(addr));
+        }
+    }
+
+    /// The taint tracker, when enabled (tests and the leakage harness).
+    pub fn taint_state(&self) -> Option<&TaintState> {
+        self.taint.as_deref()
     }
 
     /// Is the deferred entry executable now (all inputs arrived)?
@@ -347,8 +398,17 @@ impl SstCore {
             self.stats.epochs_committed += 1;
             self.last_progress = now;
             self.replay_check_at = self.replay_check_at.min(now + 1);
+            if let Some(t) = self.taint.as_mut() {
+                // The epoch's writes are architectural now; its lines
+                // also legitimize any earlier leak of the same blocks.
+                t.commit_through(bound);
+            }
             if self.epochs.is_empty() {
                 debug_assert_eq!(self.spec.nt_count(), 0, "commit to normal leaves no NT");
+                debug_assert!(
+                    self.taint.as_ref().map_or(true, |t| t.pending_lines() == 0),
+                    "commit to normal leaves no pending speculative taint"
+                );
                 self.replay_vals.clear();
                 self.replay_check_at = Cycle::MAX;
             }
@@ -358,9 +418,18 @@ impl SstCore {
     // ------------------------------------------------------------ rollback
 
     /// Rolls back to the checkpoint of `epochs[idx]`, squashing that epoch
-    /// and everything younger. `idx == 0` is a full rollback.
-    fn rollback_to(&mut self, idx: usize, now: Cycle, scout: bool) {
+    /// and everything younger. `idx == 0` is a full rollback. `mem` is
+    /// only read (non-mutating residency probes) and only when the taint
+    /// layer is enabled.
+    fn rollback_to(&mut self, idx: usize, now: Cycle, scout: bool, mem: &mut MemBus) {
         let ck = self.epochs[idx].ckpt.clone();
+        // Structure-squash counts for the taint sweep, taken before the
+        // squash destroys the evidence.
+        let squash_counts = self.taint.is_some().then(|| SquashCounts {
+            nt: self.spec.nt_owned_since(ck.start_seq) as u64,
+            dq: self.dq.iter().filter(|e| e.seq >= ck.start_seq).count() as u64,
+            stb: self.stb.iter().filter(|e| e.seq >= ck.start_seq).count() as u64,
+        });
         // Results of still-older epochs may not have merged into this
         // image yet (their entries are still deferred); those NT registers
         // remain correctly NT after the restore, still owned by live
@@ -387,6 +456,9 @@ impl SstCore {
         };
         self.replay_cursor = None;
         self.frontend.redirect(now + 1, ck.pc);
+        if let (Some(t), Some(counts)) = (self.taint.as_mut(), squash_counts) {
+            t.sweep(ck.start_seq, now, scout, mem, counts);
+        }
         if scout {
             self.stats.scout_rollbacks += 1;
         } else {
@@ -532,7 +604,7 @@ impl SstCore {
                         }
                         ReplayOutcome::Fail => {
                             let ep_idx = self.epoch_of(e.seq);
-                            self.rollback_to(ep_idx, now, false);
+                            self.rollback_to(ep_idx, now, false, mem);
                             return used;
                         }
                         ReplayOutcome::PortFull => break,
@@ -600,6 +672,7 @@ impl SstCore {
                     }
                     *mem_ops += 1;
                     let out = mem.access_pc(now, AccessKind::Load, addr, e.pc);
+                    self.taint_demand(e.seq, addr, mem);
                     if out.level == sst_mem::HitLevel::Mem
                         && out.latency(now) > self.cfg.defer_threshold
                     {
@@ -638,6 +711,7 @@ impl SstCore {
                 self.dq.clear_blocked();
                 // Warm the line for the eventual commit-time write.
                 mem.access_pc(now, AccessKind::Prefetch, addr, e.pc);
+                self.taint_line(e.seq, addr, mem);
                 self.log_commit_deferred(Commit {
                     seq: e.seq,
                     pc: e.pc,
@@ -651,6 +725,7 @@ impl SstCore {
             Inst::Prefetch { .. } => {
                 let addr = mem_addr(e.inst, s1);
                 mem.access_pc(now, AccessKind::Prefetch, addr, e.pc);
+                self.taint_line(e.seq, addr, mem);
                 self.log_commit_deferred(Commit {
                     seq: e.seq,
                     pc: e.pc,
@@ -666,6 +741,7 @@ impl SstCore {
                 if inst.is_control() {
                     let predicted = e.pred_next_pc.expect("deferred control records its path");
                     self.frontend.resolve(e.pc, inst, out.taken, out.next_pc);
+                    self.taint_predictor(e.seq);
                     if out.next_pc != predicted {
                         // An unpredicted indirect that blocked fetch is a
                         // late resolution, not a misprediction: nothing ran
@@ -780,7 +856,7 @@ impl SstCore {
         if !self.cfg.retain_results {
             // Scout: run until the originating miss returns, then restart.
             if now >= cause_ready {
-                self.rollback_to(0, now, true);
+                self.rollback_to(0, now, true, mem);
             }
             return (width, false);
         }
@@ -1074,6 +1150,15 @@ impl SstCore {
                             let defer_miss = out.level == sst_mem::HitLevel::Mem
                                 && out.latency(now) > self.cfg.defer_threshold
                                 && (!self.no_defer || self.in_speculation());
+                            // The access above already touched the line,
+                            // whether or not the load issues this cycle:
+                            // speculative if an epoch is (or is about to
+                            // be) live, architectural otherwise.
+                            if self.in_speculation() || defer_miss {
+                                self.taint_demand(my_seq, addr, mem);
+                            } else {
+                                self.taint_arch(addr, mem);
+                            }
                             if defer_miss {
                                 // The paper's trigger: a long-latency miss.
                                 if self.dq.is_full() {
@@ -1167,6 +1252,7 @@ impl SstCore {
                         });
                         // Warm the line ahead of the commit-time write.
                         mem.access_pc(now, AccessKind::Prefetch, addr, f.pc);
+                        self.taint_line(self.seq, addr, mem);
                         self.log_commit(Commit {
                             seq: self.seq,
                             pc: f.pc,
@@ -1185,6 +1271,7 @@ impl SstCore {
                         self.seq += 1;
                         self.stats.ahead_issued += 1;
                         mem.access_pc(now, AccessKind::Store, addr, f.pc);
+                        self.taint_arch(addr, mem);
                         mem.write(addr, bytes, data);
                         self.log_commit(Commit {
                             seq: self.seq,
@@ -1203,6 +1290,11 @@ impl SstCore {
                     self.seq += 1;
                     self.stats.ahead_issued += 1;
                     mem.access_pc(now, AccessKind::Prefetch, addr, f.pc);
+                    if self.in_speculation() {
+                        self.taint_line(self.seq, addr, mem);
+                    } else {
+                        self.taint_arch(addr, mem);
+                    }
                     self.log_commit(Commit {
                         seq: self.seq,
                         pc: f.pc,
@@ -1235,6 +1327,9 @@ impl SstCore {
                     });
                     if inst.is_control() {
                         self.frontend.resolve(f.pc, inst, out.taken, out.next_pc);
+                        if self.in_speculation() {
+                            self.taint_predictor(self.seq);
+                        }
                         if out.next_pc != f.pred_next_pc {
                             self.stats.mispredicts += 1;
                             self.frontend.redirect(now + 1, out.next_pc);
@@ -1433,5 +1528,9 @@ impl Core for SstCore {
             ("cond_predictions", bu.cond_predictions),
             ("cond_mispredictions", bu.cond_mispredictions),
         ]
+    }
+
+    fn leakage(&self) -> Option<&LeakageSummary> {
+        self.taint.as_deref().map(|t| &t.summary)
     }
 }

@@ -135,6 +135,90 @@ fn stat_accounting_is_coherent() {
     assert!(s.ahead_issued >= core.retired() - s.replayed);
 }
 
+/// Forced mid-pass rollback: a deferred branch whose prediction is wrong
+/// while younger speculative work sits in the DQ. The squash-time
+/// accounting identity must hold exactly — every entry ever pushed into
+/// the DQ either replayed successfully or was squashed by a rollback:
+/// `deferred == replayed + Σ dq_squashed` (the sweep totals come from the
+/// taint layer, which records per-rollback squash counts).
+#[test]
+fn forced_rollback_counter_audit() {
+    let mut a = Asm::new();
+    let region = a.reserve(8 << 20);
+    a.la(Reg::x(1), region);
+    a.ld(Reg::x(4), Reg::x(1), 0); // cold miss: defers, x4 goes NT
+    let spec = a.label();
+    // Sparse memory reads zero, so the branch is architecturally
+    // not-taken; a cold gshare entry predicts taken, so the ahead strand
+    // runs the `spec` path until replay resolves the branch and fails.
+    a.bne(Reg::x(4), Reg::ZERO, spec);
+    a.li(Reg::x(9), 123);
+    a.halt();
+    a.bind(spec);
+    // Younger speculative work destined for the squash: three more
+    // deferring loads, then ALU spin (never a halt on the wrong path).
+    a.li(Reg::x(3), 1 << 20);
+    a.add(Reg::x(2), Reg::x(1), Reg::x(3));
+    a.ld(Reg::x(5), Reg::x(2), 0);
+    a.add(Reg::x(2), Reg::x(2), Reg::x(3));
+    a.ld(Reg::x(6), Reg::x(2), 0);
+    a.add(Reg::x(2), Reg::x(2), Reg::x(3));
+    a.ld(Reg::x(7), Reg::x(2), 0);
+    let spin = a.here();
+    a.add(Reg::x(10), Reg::x(10), Reg::x(9));
+    a.j(spin);
+    let p = a.finish().unwrap();
+
+    let cfg = SstConfig {
+        taint: true,
+        ..SstConfig::sst()
+    };
+    let (core, _m) = run_with(cfg, &p, 100_000_000);
+    let s = &core.stats;
+    assert_eq!(s.fail_branch, 1, "exactly one deferred-branch failure");
+    assert_eq!(s.scout_rollbacks, 0);
+    let sweep = &core.taint_state().expect("taint on").summary;
+    assert_eq!(sweep.rollbacks, 1);
+    assert!(
+        sweep.dq_squashed >= 3,
+        "the three wrong-path loads were in the DQ: {}",
+        sweep.dq_squashed
+    );
+    assert_eq!(
+        s.deferred,
+        s.replayed + sweep.dq_squashed,
+        "deferred {} != replayed {} + dq_squashed {}",
+        s.deferred,
+        s.replayed,
+        sweep.dq_squashed
+    );
+}
+
+/// The same identity on a run whose rollbacks interleave with commits
+/// (the E13 gadget): accounting stays exact under churn, not just in the
+/// single-failure scenario above.
+#[test]
+fn counter_identity_survives_rollback_churn() {
+    let w = sst_workloads::Workload::by_name("g_bcb", sst_workloads::Scale::Smoke, 3).unwrap();
+    let cfg = SstConfig {
+        taint: true,
+        ..SstConfig::execute_ahead()
+    };
+    let (core, _m) = run_with(cfg, &w.program, 200_000_000);
+    let s = &core.stats;
+    let sweep = &core.taint_state().expect("taint on").summary;
+    assert!(s.fail_branch > 10, "gadget must keep failing: {}", s.fail_branch);
+    assert!(s.epochs_committed > 10, "authorized epochs commit: {}", s.epochs_committed);
+    assert_eq!(
+        s.deferred,
+        s.replayed + sweep.dq_squashed,
+        "deferred {} != replayed {} + dq_squashed {}",
+        s.deferred,
+        s.replayed,
+        sweep.dq_squashed
+    );
+}
+
 #[test]
 fn dq_and_stb_high_water_within_capacity() {
     let p = independent_misses(64);

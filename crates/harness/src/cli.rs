@@ -18,8 +18,9 @@ Runs the study's experiments on a parallel, cached, fault-isolated
 worker pool and writes tables to results/.
 
 experiments:
-  all            every experiment (E1-E12, E14, A1-A4)
+  all            every experiment (E1-E14, A1-A4)
   e1 .. e12      the paper reproductions
+  e13            speculative-leakage audit: taint sweep over the gadgets
   e14            open-loop service traffic: tail latency vs offered load
   a1 .. a4       the ablations
   (legacy binary names like e4_vs_ooo are accepted)

@@ -1,8 +1,9 @@
-//! The experiment definitions: each of E1–E12, E14, and A1–A4 as a
+//! The experiment definitions: each of E1–E14 and A1–A4 as a
 //! (jobs, fold) pair, ported from the original standalone binaries.
 
 mod ablations;
 mod core;
+mod security;
 mod sweeps;
 mod system;
 mod traffic;
@@ -27,6 +28,7 @@ pub fn all() -> Vec<Experiment> {
         system::e10(),
         system::e11(),
         system::e12(),
+        security::e13(),
         traffic::e14(),
         ablations::a1(),
         ablations::a2(),

@@ -37,6 +37,19 @@ pub enum JobKind {
     /// request slices over the CMP, with queueing and tail-latency
     /// accounting (experiment family E14).
     Traffic(TrafficSpec),
+    /// One `(model, workload)` run with speculation-taint tracking: the
+    /// result is a [`RunResult`] whose counters additionally carry the
+    /// `leak_`-prefixed [`sst_uarch::LeakageSummary`] totals (experiment
+    /// E13). Models built without taint report no `leak_` counters — an
+    /// in-order core has nothing to track.
+    Leakage {
+        /// Core model (taint-enabled configs carry the flag themselves).
+        model: CoreModel,
+        /// Workload name (`Workload::by_name`, usually a gadget).
+        workload: String,
+        /// Memory hierarchy configuration.
+        mem: MemConfig,
+    },
     /// Panics immediately — exists to exercise the scheduler's fault
     /// isolation (the hidden `xfail` experiment and the harness tests).
     Panic {
@@ -136,6 +149,18 @@ impl JobSpec {
         }
     }
 
+    /// A taint-tracked leakage run with the default memory configuration.
+    pub fn leakage(name: impl Into<String>, model: CoreModel, workload: &str) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            kind: JobKind::Leakage {
+                model,
+                workload: workload.to_string(),
+                mem: MemConfig::default(),
+            },
+        }
+    }
+
     /// A CMP throughput run.
     pub fn cmp(name: impl Into<String>, model: CoreModel, workload: &str, cores: usize) -> JobSpec {
         JobSpec {
@@ -184,6 +209,11 @@ impl JobSpec {
                 // The spec's stable Debug form carries every sweep
                 // parameter (load, queue bounds, policy, quantum, ...).
                 key.push_str(&format!("kind=traffic;spec={spec:?}"));
+            }
+            JobKind::Leakage { model, workload, mem } => {
+                key.push_str(&format!(
+                    "kind=leakage;model={model:?};workload={workload};mem={mem:?}"
+                ));
             }
             JobKind::Panic { message } => {
                 key.push_str(&format!("kind=panic;message={message}"));
@@ -246,6 +276,21 @@ impl JobSpec {
                 // catch_unwind as a failed job.
                 let r = sst_traffic::run_traffic(spec, env.scale, env.seed, threads, env.max_cycles);
                 Ok(JobOutput::Traffic(r))
+            }
+            JobKind::Leakage { model, workload, mem } => {
+                let w = Workload::by_name(workload, env.scale, env.seed)
+                    .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+                System::with_mem(model.clone(), &w, mem)
+                    .without_cosim()
+                    .run_with_leakage(env.max_cycles)
+                    .map(|(mut r, leak)| {
+                        if let Some(l) = leak {
+                            r.counters
+                                .extend(l.counters().into_iter().map(|(n, v)| (n.to_string(), v)));
+                        }
+                        JobOutput::Run(r)
+                    })
+                    .map_err(|e| e.to_string())
             }
             JobKind::Panic { message } => panic!("{message}"),
         }

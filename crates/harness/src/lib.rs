@@ -1,7 +1,7 @@
 //! # sst-harness
 //!
 //! Parallel, cached, fault-isolated orchestration for the study's
-//! experiments (E1–E12, A1–A4).
+//! experiments (E1–E14, A1–A4).
 //!
 //! Each experiment declares a list of **jobs** — independent simulation
 //! units (one `(model, workload, memory-config)` run, or one CMP

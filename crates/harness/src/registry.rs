@@ -104,7 +104,7 @@ pub struct Experiment {
     /// Human title.
     pub title: &'static str,
     /// Family the experiment belongs to — groups `sst-run --list` output
-    /// (`"paper"` for E1-E12, `"ablation"` for A1-A4, `"traffic"` for the
+    /// (`"paper"` for E1-E13, `"ablation"` for A1-A4, `"traffic"` for the
     /// E14 service-level family, `"internal"` for hidden fixtures).
     pub family: &'static str,
     /// What the paper says the result should look like.
@@ -139,8 +139,8 @@ mod tests {
     fn registry_covers_the_study() {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e14",
-            "a1", "a2", "a3", "a4",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+            "e14", "a1", "a2", "a3", "a4",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

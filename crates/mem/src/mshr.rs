@@ -134,6 +134,14 @@ impl MshrFile {
     pub fn note_merge(&mut self) {
         self.merged += 1;
     }
+
+    /// Non-mutating in-flight check: `true` when a fill of `block` is
+    /// still outstanding at `now`. Unlike [`MshrFile::lookup`] this never
+    /// reaps completed entries, so a probe leaves the file bit-identical —
+    /// the speculation-taint sweep relies on that to stay invisible.
+    pub fn probe(&self, now: Cycle, block: u64) -> bool {
+        self.entries.iter().any(|e| e.block == block && e.ready_at > now)
+    }
 }
 
 #[cfg(test)]

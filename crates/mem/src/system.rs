@@ -69,6 +69,28 @@ impl HitLevel {
     }
 }
 
+/// Residency answer from [`MemBus::probe_residency`]: where (if
+/// anywhere) a line still lives, observed without perturbing any cache,
+/// MSHR, or counter state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineProbe {
+    /// Line present in the probing core's L1D tags.
+    pub l1d: bool,
+    /// Line present in the shared L2 tags.
+    pub l2: bool,
+    /// A fill of the line is still outstanding in the core's L1D MSHRs
+    /// or the shared L2 MSHRs.
+    pub in_flight: bool,
+}
+
+impl LineProbe {
+    /// `true` when the line is observable anywhere — resident or with a
+    /// fill on the way.
+    pub fn any(&self) -> bool {
+        self.l1d || self.l2 || self.in_flight
+    }
+}
+
 /// Timing result of one access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AccessOutcome {
@@ -134,6 +156,22 @@ impl MemPort {
         &mut self.mem
     }
 
+    /// Credits a prefetched line the first time a demand access touches
+    /// it while it is still cached (or in flight).
+    ///
+    /// Policy: credit survives speculation rollback. A demand touch from
+    /// a path that is later squashed still converts the prefetch to
+    /// "useful", and a prefetch trained by a squashed load keeps its
+    /// entry in `prefetched` until the line itself is evicted. This is
+    /// deliberate: `useful_prefetches` measures *fill timeliness* — did
+    /// the prefetcher move the line before something wanted it — not
+    /// architectural correctness of the wanter, which is E13's business
+    /// (the taint sweep separately reports squashed trainings as
+    /// `leak_prefetch_trainings`). Rolling the credit back would also
+    /// make the counter depend on checkpoint placement, destroying its
+    /// comparability across the scout/EA/SST lineup, whose rollback
+    /// cadences differ by design. `remove` keeps the credit at-most-once
+    /// per prefetched fill; re-prefetching after eviction re-arms it.
     fn note_useful_prefetch(&mut self, block: u64) {
         // The set is empty whenever no prefetch is outstanding (always, for
         // workloads the stride table never locks onto) — skip the hash.
@@ -378,6 +416,30 @@ impl<'a> MemBus<'a> {
         }
 
         AccessOutcome { ready_at, level }
+    }
+
+    /// The block-aligned address of `addr`'s cache line.
+    pub fn block_of(&self, addr: u64) -> u64 {
+        self.port.l1d.block_of(addr)
+    }
+
+    /// Probes where `addr`'s line currently lives, without perturbing
+    /// anything: no recency refresh, no dirty bits, no MSHR reaping, no
+    /// counters. The speculation-taint sweep calls this at rollback to
+    /// ask what squashed speculation left behind, and "zero cost when
+    /// disabled" only holds because an *enabled* sweep is also invisible
+    /// to timing. In parallel CMP runs the L2-side probe waits for the
+    /// core's deterministic turn like any other shared-residue access.
+    pub fn probe_residency(&mut self, now: Cycle, addr: u64) -> LineProbe {
+        let block = self.port.l1d.block_of(addr);
+        let l1d = self.port.l1d.probe(block);
+        let l1_in_flight = self.port.l1d_mshr.probe(now, block);
+        let sh = self.shared.acquire(now);
+        LineProbe {
+            l1d,
+            l2: sh.l2.probe(block),
+            in_flight: l1_in_flight || sh.l2_mshr.probe(now, block),
+        }
     }
 
     /// Issues a best-effort prefetch of `addr`'s line.
@@ -692,6 +754,30 @@ mod tests {
         assert!(o2.ready_at > 2110 + ms.config().l1_latency);
         assert!(o2.ready_at < 2110 + ms.config().mem_round_trip());
         let _ = p2;
+    }
+
+    #[test]
+    fn prefetch_credit_is_at_most_once_per_fill() {
+        // Policy regression (see `note_useful_prefetch`): the first demand
+        // touch converts the prefetch to useful; further touches — e.g.
+        // re-execution after a speculation rollback demanding the same
+        // line — must not double-credit. There is deliberately no rollback
+        // hook in the memory system: a squashed path's touch counts, since
+        // the counter measures fill timeliness, not architectural use.
+        let mut ms = sys();
+        let p = ms.access(0, 0, AccessKind::Prefetch, 0xd000);
+        let t = p.ready_at.max(2000);
+        let o1 = ms.access(t, 0, AccessKind::Load, 0xd000);
+        assert_eq!(o1.level, HitLevel::L1);
+        assert_eq!(ms.stats().useful_prefetches, 1);
+        let o2 = ms.access(o1.ready_at + 1, 0, AccessKind::Load, 0xd000);
+        assert_eq!(o2.level, HitLevel::L1);
+        assert_eq!(ms.stats().useful_prefetches, 1, "credit is at-most-once");
+        // A fresh prefetch of a *different* line re-arms normally.
+        let p2 = ms.access(o2.ready_at + 1, 0, AccessKind::Prefetch, 0x2d000);
+        let o3 = ms.access(p2.ready_at.max(o2.ready_at + 2000), 0, AccessKind::Load, 0x2d000);
+        assert_eq!(o3.level, HitLevel::L1);
+        assert_eq!(ms.stats().useful_prefetches, 2);
     }
 
     #[test]

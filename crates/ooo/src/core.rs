@@ -5,7 +5,8 @@ use std::collections::VecDeque;
 use sst_isa::{Inst, Program, Reg};
 use sst_mem::{AccessKind, Cycle, MemBus};
 use sst_uarch::{
-    execute, extend_load, mem_addr, Commit, Core, ExecLatency, Frontend, FrontendConfig, Seq,
+    execute, extend_load, mem_addr, Commit, Core, ExecLatency, Frontend, FrontendConfig,
+    LeakageSummary, Seq, SquashCounts, TaintState,
 };
 
 /// Configuration of the out-of-order baseline.
@@ -31,6 +32,15 @@ pub struct OooConfig {
     pub sq_entries: usize,
     /// Memory operations issued per cycle.
     pub dcache_ports: usize,
+    /// Speculation-taint tracking (off by default): tag the cache lines
+    /// touched by wrong-path work — the phantom walk's prefetches and
+    /// loads squashed by a memory-order violation — plus the predictor
+    /// and prefetcher state they mutate, and sweep the residue into a
+    /// leakage record at each redirect/squash (experiment E13). Purely
+    /// observational: runs with the flag on and off are byte-identical;
+    /// the summary is reported through `Core::leakage`, never through
+    /// `Core::counters`.
+    pub taint: bool,
 }
 
 impl OooConfig {
@@ -51,6 +61,7 @@ impl OooConfig {
             lq_entries: 16,
             sq_entries: 12,
             dcache_ports: 1,
+            taint: false,
         }
     }
 
@@ -215,6 +226,10 @@ pub struct OooCore {
     /// (which adds entries) resets this to 0. Lets `tick` skip the
     /// O(window) scan while the window drains a long miss.
     issue_quiet_until: Cycle,
+    /// Speculation-taint tracker (experiment E13); `None` unless
+    /// [`OooConfig::taint`] is set, so the disabled path costs one
+    /// discriminant test per hook.
+    taint: Option<Box<TaintState>>,
     commits: Vec<Commit>,
     /// Statistics.
     pub stats: OooStats,
@@ -227,6 +242,7 @@ impl OooCore {
         let phys_count = 64 + cfg.rob_entries;
         let mut free: Vec<usize> = (64..phys_count).rev().collect();
         free.shrink_to_fit();
+        let taint = cfg.taint.then(|| Box::new(TaintState::new()));
         OooCore {
             frontend: Frontend::new(cfg.frontend, program),
             cfg,
@@ -246,6 +262,7 @@ impl OooCore {
             phantom: None,
             phantom_count: 0,
             issue_quiet_until: 0,
+            taint,
             commits: Vec::new(),
             stats: OooStats::default(),
         }
@@ -296,6 +313,9 @@ impl OooCore {
         /// A wrong-path load slower than this poisons its consumers: its
         /// data would not return before the mispredicted branch resolves.
         const POISON_LATENCY: u64 = 30;
+        // Taint attributes every wrong-path touch to the blocking branch's
+        // sequence number; the redirect sweeps that epoch.
+        let bseq = self.fetch_blocked_on.unwrap_or(self.seq);
         let (shadow, poison) = self
             .phantom
             .get_or_insert((self.future, [false; 64]));
@@ -334,6 +354,10 @@ impl OooCore {
                     let addr = mem_addr(inst, s1);
                     let out = mem.access_pc(now, AccessKind::Prefetch, addr, f.pc);
                     self.stats.wrong_path_prefetches += 1;
+                    if let Some(t) = self.taint.as_mut() {
+                        t.note_line(bseq, mem.block_of(addr));
+                        t.note_training(bseq);
+                    }
                     if out.level == sst_mem::HitLevel::Mem && out.latency(now) > POISON_LATENCY {
                         if !rd.is_zero() {
                             poison[rd.index()] = true;
@@ -351,6 +375,10 @@ impl OooCore {
                     let addr = mem_addr(inst, s1);
                     mem.access_pc(now, AccessKind::Prefetch, addr, f.pc);
                     self.stats.wrong_path_prefetches += 1;
+                    if let Some(t) = self.taint.as_mut() {
+                        t.note_line(bseq, mem.block_of(addr));
+                        t.note_training(bseq);
+                    }
                 }
                 _ => {
                     let out = execute(inst, s1, s2, f.pc);
@@ -642,13 +670,19 @@ impl OooCore {
         }
 
         if let Some((done_at, target)) = redirect {
+            // The wrong-path episode ends here: sweep whatever the phantom
+            // walk left behind (lines, trainings) into a leakage record
+            // before the walk state is torn down.
+            if let (Some(t), Some(bseq)) = (self.taint.as_mut(), self.fetch_blocked_on) {
+                t.sweep(bseq, now, false, mem, SquashCounts::default());
+            }
             self.frontend.redirect(done_at, target);
             self.fetch_blocked_on = None;
             self.phantom = None;
             self.phantom_count = 0;
         }
         if let Some((seq, pc)) = squash_at {
-            self.squash_from(now, seq, pc);
+            self.squash_from(now, seq, pc, mem);
         }
 
         // Nothing issued and nothing can retry sooner: the scan is a
@@ -723,7 +757,7 @@ impl OooCore {
     // ------------------------------------------------------------- squash
 
     /// Squashes every entry with `seq >= from` and refetches from `pc`.
-    fn squash_from(&mut self, now: Cycle, from: Seq, pc: u64) {
+    fn squash_from(&mut self, now: Cycle, from: Seq, pc: u64, mem: &mut MemBus) {
         while let Some(e) = self.rob.back() {
             if e.seq < from {
                 break;
@@ -737,12 +771,29 @@ impl OooCore {
                 Some(_) => self.n_loads -= 1,
                 None => {}
             }
+            if let Some(t) = self.taint.as_mut() {
+                // Squashed loads that went to memory (not forwarded) left
+                // fills behind; squashed control already trained the
+                // predictor at rename. Record both for the sweep below.
+                if let Some((addr, _, false, _)) = e.mem {
+                    if e.mem_executed && e.forwarded_from.is_none() {
+                        t.note_line(e.seq, mem.block_of(addr));
+                        t.note_training(e.seq);
+                    }
+                }
+                if e.inst.is_control() {
+                    t.note_predictor(e.seq);
+                }
+            }
             if let (Some(dest), Some(old)) = (e.dest_phys, e.old_phys) {
                 let rd = e.inst.dest().expect("dest_phys implies dest");
                 self.rat[rd.index()] = old;
                 self.future[rd.index()] = e.old_future;
                 self.free.push(dest);
             }
+        }
+        if let Some(t) = self.taint.as_mut() {
+            t.sweep(from, now, false, mem, SquashCounts::default());
         }
         self.seq = from - 1;
         if self
@@ -851,6 +902,13 @@ impl OooCore {
                 mem.access(now, AccessKind::Store, addr);
                 mem.write(addr, bytes, value);
                 store = Some((addr, bytes, value));
+            }
+            if let Some(t) = self.taint.as_mut() {
+                // A committed access is architectural demand for its line:
+                // it no longer counts toward the leaked footprint.
+                if let Some((addr, _, _, _)) = e.mem {
+                    t.note_architectural(mem.block_of(addr));
+                }
             }
             if let Some(old) = e.old_phys {
                 self.free.push(old);
@@ -984,5 +1042,9 @@ impl Core for OooCore {
             ("cond_predictions", bu.cond_predictions),
             ("cond_mispredictions", bu.cond_mispredictions),
         ]
+    }
+
+    fn leakage(&self) -> Option<&LeakageSummary> {
+        self.taint.as_deref().map(|t| &t.summary)
     }
 }

@@ -129,6 +129,28 @@ impl System {
     /// Returns the first [`CosimError`], or an error-shaped divergence when
     /// the core fails to finish within `max_cycles`.
     pub fn run_checked(mut self, max_cycles: Cycle) -> Result<RunResult, CosimError> {
+        self.run_inner(max_cycles)
+    }
+
+    /// Runs to `halt` like [`System::run_checked`], additionally returning
+    /// the core's speculation-leakage summary (experiment E13). `None`
+    /// unless the model was built with taint tracking enabled — leakage is
+    /// deliberately reported out of band of [`RunResult`] so that enabling
+    /// taint leaves the performance result byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::run_checked`].
+    pub fn run_with_leakage(
+        mut self,
+        max_cycles: Cycle,
+    ) -> Result<(RunResult, Option<sst_uarch::LeakageSummary>), CosimError> {
+        let result = self.run_inner(max_cycles)?;
+        let leakage = self.core.leakage().cloned();
+        Ok((result, leakage))
+    }
+
+    fn run_inner(&mut self, max_cycles: Cycle) -> Result<RunResult, CosimError> {
         let mut warmup_cycles = 0;
         let mut committed = 0u64;
         let mut inst_mix = [0u64; 10];
@@ -180,7 +202,7 @@ impl System {
         }
 
         Ok(RunResult {
-            model: self.model_label,
+            model: self.model_label.clone(),
             workload: self.workload_name.to_string(),
             cycles: self.core.cycle(),
             insts: committed,

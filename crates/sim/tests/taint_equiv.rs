@@ -1,0 +1,90 @@
+//! Taint-tracking zero-cost equivalence suite (experiment E13).
+//!
+//! Speculation-taint tracking is purely observational: it may allocate
+//! its own bookkeeping, but it must never touch timing, architectural
+//! state, counters, or memory-system statistics. Leakage is reported
+//! exclusively through `System::run_with_leakage` — never through
+//! `RunResult` — precisely so this suite can demand *byte-identical*
+//! results with taint on and off.
+//!
+//! Covered: every speculating model (scout / execute-ahead / SST / OoO)
+//! on a replay-heavy commercial workload and on the E13 gadget whose
+//! rollback churn stresses every sweep path. Co-simulation stays on, so
+//! commit streams are also checked instruction by instruction.
+
+use sst_core::SstConfig;
+use sst_ooo::OooConfig;
+use sst_sim::{CoreModel, System};
+use sst_workloads::{Scale, Workload};
+
+const MAX_CYCLES: u64 = 200_000_000;
+const WORKLOADS: [&str; 2] = ["oltp", "g_bcb"];
+
+fn run(model: CoreModel, workload: &str, what: &str) -> sst_sim::RunResult {
+    let w = Workload::by_name(workload, Scale::Smoke, 3).unwrap();
+    let label = model.label();
+    System::new(model, &w)
+        .run_checked(MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{label} on {workload} ({what}): {e}"))
+}
+
+#[test]
+fn sst_family_taint_on_is_byte_identical() {
+    for workload in WORKLOADS {
+        for base in [
+            SstConfig::scout(),
+            SstConfig::execute_ahead(),
+            SstConfig::sst(),
+        ] {
+            let tainted = SstConfig {
+                taint: true,
+                ..base.clone()
+            };
+            let label = base.label();
+            let a = run(CoreModel::CustomSst(base), workload, "taint off");
+            let b = run(CoreModel::CustomSst(tainted), workload, "taint on");
+            assert_eq!(a, b, "{label} on {workload}: taint on/off runs diverged");
+        }
+    }
+}
+
+#[test]
+fn ooo_taint_on_is_byte_identical() {
+    for workload in WORKLOADS {
+        let tainted = OooConfig {
+            taint: true,
+            ..OooConfig::ooo_32()
+        };
+        let a = run(CoreModel::Ooo32, workload, "taint off");
+        let b = run(CoreModel::CustomOoo(tainted), workload, "taint on");
+        assert_eq!(a, b, "ooo-32 on {workload}: taint on/off runs diverged");
+    }
+}
+
+/// The named (non-custom) models are the taint-off baseline: a custom
+/// config with only `taint: true` flipped must match them exactly.
+#[test]
+fn named_models_match_their_tainted_customs() {
+    let pairs: [(CoreModel, CoreModel); 2] = [
+        (
+            CoreModel::Sst,
+            CoreModel::CustomSst(SstConfig {
+                taint: true,
+                ..SstConfig::sst()
+            }),
+        ),
+        (
+            CoreModel::Scout,
+            CoreModel::CustomSst(SstConfig {
+                taint: true,
+                ..SstConfig::scout()
+            }),
+        ),
+    ];
+    for (named, tainted) in pairs {
+        let label = named.label();
+        let a = run(named, "g_store", "named");
+        let b = run(tainted, "g_store", "tainted custom");
+        assert_eq!(a, b, "{label} on g_store: tainted custom diverged");
+    }
+}

@@ -52,7 +52,12 @@ impl LatencyHistogram {
         }
         let shift = (index >> p) as u32 - 1;
         let off = (index & ((1 << p) - 1)) as u64;
-        (((1u64 << p) + off + 1) << shift) - 1
+        // The last sub-bucket of the top octave (values up to u64::MAX)
+        // computes `2^(p+1) << (63-p)` = 2^64 here, which sheds its high
+        // bit to 0; wrapping the decrement turns that into the intended
+        // u64::MAX instead of a debug-build underflow panic. Every other
+        // index stays below 2^64 and is unaffected.
+        (((1u64 << p) + off + 1) << shift).wrapping_sub(1)
     }
 
     /// Records one value.
@@ -252,6 +257,62 @@ mod tests {
             h.saturated(),
         );
         assert_eq!(h, back);
+    }
+
+    /// Bucket edges at the seams: every power of two and its neighbours
+    /// must satisfy the reporting contract `v <= upper(bucket_of(v)) <=
+    /// v * (1 + 2^-p)`, for every precision — this is where the octave
+    /// math can be off by one.
+    #[test]
+    fn bucket_edges_bracket_powers_of_two() {
+        for p in 1..=10u32 {
+            let h = LatencyHistogram::new(p, u64::MAX);
+            let mut probes: Vec<u64> = vec![0, 1, u64::MAX - 1, u64::MAX];
+            for e in 1..64u32 {
+                let v = 1u64 << e;
+                probes.extend([v - 1, v, v + 1]);
+            }
+            for v in probes {
+                let upper = h.bucket_upper(LatencyHistogram::bucket_of(p, v));
+                assert!(upper >= v, "p{p}: upper({v}) = {upper} < value");
+                let slack = v.saturating_add((v >> p) + 1);
+                assert!(
+                    upper <= slack,
+                    "p{p}: upper({v}) = {upper} > {v} + 2^-{p} slack"
+                );
+            }
+        }
+    }
+
+    /// The sub-`2^precision` region is exact: each value its own bucket,
+    /// with the upper bound equal to the value itself.
+    #[test]
+    fn linear_region_is_exact_per_value() {
+        for p in [1u32, 5, 10] {
+            let h = LatencyHistogram::new(p, u64::MAX);
+            for v in 0..(1u64 << p) {
+                let b = LatencyHistogram::bucket_of(p, v);
+                assert_eq!(b, v as usize, "p{p}: value {v} not its own bucket");
+                assert_eq!(h.bucket_upper(b), v);
+            }
+            // First value past the linear region starts the octave math.
+            let v = 1u64 << p;
+            assert!(h.bucket_upper(LatencyHistogram::bucket_of(p, v)) >= v);
+        }
+    }
+
+    /// Regression: a histogram spanning the full u64 range must report a
+    /// percentile from its top bucket without overflowing (`bucket_upper`
+    /// used to compute `2^64 - 1` via an underflowing subtraction).
+    #[test]
+    fn top_bucket_of_full_range_histogram_reports_max() {
+        let mut h = LatencyHistogram::new(5, u64::MAX);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1);
+        assert_eq!(h.saturated(), 0, "u64::MAX is representable, not saturated");
+        assert_eq!(h.percentile_permille(1000), Some(u64::MAX));
+        assert!(h.percentile_permille(900).unwrap() >= u64::MAX - (u64::MAX >> 5));
     }
 
     /// Property check: for random samples, every histogram percentile

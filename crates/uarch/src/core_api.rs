@@ -137,6 +137,17 @@ pub trait Core: Send {
     fn counters(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
+
+    /// The speculative-leakage summary collected by the model's taint
+    /// layer, when one is enabled (see [`crate::TaintState`]). Reported
+    /// out of band of [`Core::counters`] deliberately: enabling the
+    /// taint layer must never perturb a run's `RunResult`, and the
+    /// equivalence suite compares those byte-for-byte. The default
+    /// (`None`) covers models with no speculation — an in-order core has
+    /// nothing to leak — and models running with the layer disabled.
+    fn leakage(&self) -> Option<&crate::LeakageSummary> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,13 @@ impl RegImage {
         self.slots.iter().filter(|s| s.nt).count()
     }
 
+    /// Number of NT registers owned by producers at or past `from` — the
+    /// slots a rollback restoring to `from` is about to discard (the
+    /// taint sweep counts them before the image is replaced).
+    pub fn nt_owned_since(&self, from: Seq) -> usize {
+        self.slots.iter().filter(|s| s.nt && s.writer >= from).count()
+    }
+
     /// Latest `ready_at` among the given source registers (`x0` is always
     /// ready).
     pub fn ready_after(&self, sources: [Option<Reg>; 2]) -> Cycle {

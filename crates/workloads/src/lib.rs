@@ -29,8 +29,11 @@
 
 mod commercial;
 mod common;
+mod gadgets;
 mod micro;
 mod spec;
+
+pub use gadgets::gadget_names;
 
 use sst_isa::Program;
 
@@ -105,6 +108,11 @@ impl Workload {
             "matmul" => spec::matmul_like(scale, seed, slot),
             "chase" => micro::chase(scale, seed, slot),
             "mlp8" => micro::mlp8(scale, seed, slot),
+            // E13 leakage gadgets: buildable by name, but deliberately not
+            // in `all_names` — they measure leakage, not performance.
+            "g_bcb" => gadgets::g_bcb(scale, seed, slot),
+            "g_chase" => gadgets::g_chase(scale, seed, slot),
+            "g_store" => gadgets::g_store(scale, seed, slot),
             _ => return None,
         })
     }
