@@ -5,6 +5,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use sst_isa::{Inst, Program, Reg};
 use sst_mem::{AccessKind, Cycle, MemBus};
+use sst_obs::{DeferCause, Event, HostTimes, Phase, PhaseTable, Stage, TraceBuf};
 use sst_uarch::{
     execute, extend_load, mem_addr, Checkpoint, Commit, Core, DeferredQueue, DqEntry,
     DrainedStore, FetchedInst, ForwardResult, Frontend, LeakageSummary, RegImage, Seq,
@@ -121,14 +122,18 @@ pub struct SstCore {
     no_defer: bool,
     /// Cycle of the last observable progress (watchdog).
     last_progress: Cycle,
-    /// Debug ring buffer of recent replay decisions. Only populated when
-    /// `SST_TRACE` is set in the environment: the `format!` per decision
-    /// is measurable hot-loop overhead, and the ring is read solely by
-    /// [`SstCore::dump_debug`].
-    #[doc(hidden)]
-    pub trace: std::collections::VecDeque<String>,
-    /// Whether [`SstCore::tr`] records into `trace` (`SST_TRACE` set).
-    trace_on: bool,
+    /// Per-phase cycle table (always on: one array add per tick). Rows
+    /// sum exactly to `cycle`, however the clock advanced.
+    phase_cycles: PhaseTable,
+    /// Typed event sink ([`SstConfig::trace`] or `Core::set_trace`);
+    /// `None` when tracing is off. Record-only — see the config flag's
+    /// byte-identity contract. Replaces the old `SST_TRACE` string ring
+    /// (and its racy per-core env read); [`SstCore::dump_debug`] prints
+    /// its tail on a wedge.
+    tracebuf: Option<Box<TraceBuf>>,
+    /// Host self-profiling accumulator (`Core::set_host_prof`); `None`
+    /// when profiling is off. Record-only, like the trace sink.
+    prof: Option<Box<HostTimes>>,
     /// Speculation-taint tracker ([`SstConfig::taint`]); `None` when the
     /// layer is disabled. Purely observational — see the config flag's
     /// byte-identity contract.
@@ -147,6 +152,7 @@ impl SstCore {
             dq: DeferredQueue::new(cfg.dq_entries),
             stb: StoreBuffer::new(cfg.stb_entries),
             taint: cfg.taint.then(|| Box::new(TaintState::new())),
+            tracebuf: cfg.trace.then(|| Box::new(TraceBuf::new())),
             cfg,
             id,
             spec: RegImage::new(),
@@ -161,8 +167,8 @@ impl SstCore {
             drain_buf: Vec::new(),
             no_defer: false,
             last_progress: 0,
-            trace: std::collections::VecDeque::new(),
-            trace_on: std::env::var_os("SST_TRACE").is_some(),
+            phase_cycles: PhaseTable::new(),
+            prof: None,
             stats: SstStats::default(),
         }
     }
@@ -219,27 +225,57 @@ impl SstCore {
         for e in self.stb.iter().take(8) {
             eprintln!("  stb {:?}", e);
         }
-        for t in &self.trace {
-            eprintln!("  trace {t}");
+        if let Some(tb) = &self.tracebuf {
+            for e in tb.tail(64) {
+                eprintln!("  trace {e:?}");
+            }
+        } else {
+            eprintln!("  (run with tracing enabled — SstConfig::trace or sst-run trace — for the event tail)");
         }
     }
 
     // ---------------------------------------------------------------- helpers
 
-    /// Records a replay-trace line, lazily: the message is only built
-    /// (and allocated) when `SST_TRACE` is set.
-    fn tr(&mut self, msg: impl FnOnce() -> String) {
-        if !self.trace_on {
-            return;
+    /// Records a typed event iff tracing is on (one discriminant test
+    /// when off — the event-sink contract).
+    #[inline]
+    fn emit(&mut self, e: Event) {
+        if let Some(tb) = self.tracebuf.as_mut() {
+            tb.push(e);
         }
-        if self.trace.len() > 120 {
-            self.trace.pop_front();
-        }
-        self.trace.push_back(msg());
     }
 
     fn in_speculation(&self) -> bool {
         !self.epochs.is_empty()
+    }
+
+    /// The phase this core occupies at cycle `now`, classified purely
+    /// from current state so that `tick` and `skip_to` agree: a vouched
+    /// skip window is by definition state-preserving, so every cycle in
+    /// it belongs to the phase observed at its start.
+    fn phase_at(&self, now: Cycle) -> Phase {
+        if self.epochs.is_empty() {
+            Phase::Normal
+        } else if !self.cfg.retain_results {
+            Phase::Scout
+        } else if self.replay_cursor.is_some()
+            || now >= self.replay_check_at
+            || self.ea_replay_suspended()
+        {
+            Phase::Replay
+        } else {
+            Phase::Ea
+        }
+    }
+
+    /// Credits `n` cycles starting at `now` to the current phase (and
+    /// the trace's phase track, when tracing).
+    fn account_phase(&mut self, now: Cycle, n: u64) {
+        let ph = self.phase_at(now);
+        self.phase_cycles.add(ph, n);
+        if let Some(tb) = self.tracebuf.as_mut() {
+            tb.set_phase(ph, now);
+        }
     }
 
     // ------------------------------------------------------------ taint hooks
@@ -388,7 +424,9 @@ impl SstCore {
                     .all(|w| w[1].seq == w[0].seq + 1),
                 "epoch log must be a dense program-order range"
             );
+            let merged = ep.log.len() as u32;
             self.commits.append(&mut ep.log);
+            self.emit(Event::CkptCommit { at: now, merged });
             self.drain_buf.clear();
             self.stb.drain_through_into(bound, &mut self.drain_buf);
             for d in &self.drain_buf {
@@ -423,6 +461,11 @@ impl SstCore {
     /// layer is enabled.
     fn rollback_to(&mut self, idx: usize, now: Cycle, scout: bool, mem: &mut MemBus) {
         let ck = self.epochs[idx].ckpt.clone();
+        self.emit(Event::CkptRollback {
+            at: now,
+            scout,
+            squashed: (self.seq + 1).saturating_sub(ck.start_seq) as u32,
+        });
         // Structure-squash counts for the taint sweep, taken before the
         // squash destroys the evidence.
         let squash_counts = self.taint.is_some().then(|| SquashCounts {
@@ -530,6 +573,9 @@ impl SstCore {
         // entry is free (a ready-bit scan), so a pass only pays for the
         // work it actually does plus short bypass stalls.
         let mut used = 0;
+        // Trace-only tallies for the pass-completion marker.
+        let mut pass_exec: u32 = 0;
+        let mut pass_stuck: u32 = 0;
         while used < slots {
             // Next entry at or after the cursor within the epoch segment.
             // Examined by reference; the entry is only copied out (for the
@@ -568,7 +614,11 @@ impl SstCore {
                     // Before this exclusion they pinned `replay_check_at`
                     // to `now + 1`, forcing an O(n) empty pass every cycle
                     // for the entire miss latency.
-                    self.tr(|| format!("t{now} pass-done cur={cursor} used={used}"));
+                    self.emit(Event::ReplayPass {
+                        at: now,
+                        executed: pass_exec,
+                        redeferred: pass_stuck,
+                    });
                     self.replay_cursor = None;
                     let wake_data = self.dq.next_data_ready().unwrap_or(Cycle::MAX);
                     let wake_entries = self
@@ -586,12 +636,12 @@ impl SstCore {
                     let e = *self.dq.get(idx).expect("examined above");
                     used += 1;
                     self.stats.replay_issued += 1;
-                    self.tr(|| format!("t{now} exec {}", e.seq));
                     match self.replay_one(&e, now, mem, mem_ops) {
                         ReplayOutcome::Done => {
                             self.dq.remove_seq(e.seq);
                             self.stats.replayed += 1;
                             self.last_progress = now;
+                            pass_exec += 1;
                             cursor = e.seq + 1;
                             // `idx` now points at the entry after the
                             // removed one; leave it in place.
@@ -599,6 +649,7 @@ impl SstCore {
                         ReplayOutcome::Stuck => {
                             // Re-deferred (missed again) or ordering:
                             // shuffle past it.
+                            pass_stuck += 1;
                             cursor = e.seq + 1;
                             idx += 1;
                         }
@@ -614,7 +665,7 @@ impl SstCore {
                     Some(when) if when <= now + stall_window => {
                         // Inputs land imminently: the strand stalls here
                         // (bypass), occupying a slot.
-                        self.tr(|| format!("t{now} stall {seq} when"));
+                        let _ = seq;
                         used += 1;
                         break;
                     }
@@ -628,7 +679,6 @@ impl SstCore {
             }
         }
 
-        self.tr(|| format!("t{now} pause cur={cursor} used={used}"));
         self.replay_cursor = Some((cursor, cur_gen));
         self.replay_check_at = now + 1; // pass still in progress
         used
@@ -681,6 +731,7 @@ impl SstCore {
                         self.dq.set_data_ready(e.seq, out.ready_at);
                         self.replay_check_at = self.replay_check_at.min(out.ready_at);
                         self.stats.redeferred += 1;
+                        self.emit(Event::Redefer { at: now });
                         return ReplayOutcome::Stuck;
                     }
                     out.ready_at.max(now + 1)
@@ -749,12 +800,10 @@ impl SstCore {
                         let blocked_fetch =
                             self.frontend.waiting_indirect() && self.seq == e.seq;
                         if !blocked_fetch {
-                            if std::env::var("SST_TRACE_FAILS").is_ok() {
-                                eprintln!(
-                                    "FAIL pc={:#x} {:?} predicted={:#x} actual={:#x}",
-                                    e.pc, inst, predicted, out.next_pc
-                                );
-                            }
+                            // Typed successor of the old SST_TRACE_FAILS
+                            // eprintln: the failing control transfer is an
+                            // event, inspectable in the exported trace.
+                            self.emit(Event::ReplayFail { at: now, seq: e.seq });
                             return ReplayOutcome::Fail;
                         }
                         self.frontend.redirect(now + 1, out.next_pc);
@@ -882,6 +931,8 @@ impl SstCore {
                         log: Vec::new(),
                         cause_ready: 0,
                     });
+                    let live = self.epochs.len() as u32;
+                    self.emit(Event::CkptTake { at: now, live });
                 }
             }
         }
@@ -943,8 +994,9 @@ impl SstCore {
     // ------------------------------------------------------------- ahead strand
 
     /// Builds the defer record for `inst` and pushes it (plus any store
-    /// buffer entry). Caller has verified capacity.
-    fn defer(&mut self, f: &FetchedInst, now: Cycle, data_ready_at: Option<Cycle>) {
+    /// buffer entry), attributing the deferral to `cause` in the
+    /// taxonomy counters. Caller has verified capacity.
+    fn defer(&mut self, f: &FetchedInst, now: Cycle, data_ready_at: Option<Cycle>, cause: DeferCause) {
         let inst = f.inst;
         let seq = self.seq;
         let sources = inst.sources();
@@ -995,7 +1047,13 @@ impl SstCore {
             self.spec.mark_nt(rd, seq);
         }
         self.stats.deferred += 1;
-        let _ = now;
+        match cause {
+            DeferCause::NtSource => self.stats.defer_nt_source += 1,
+            DeferCause::StoreOrder => self.stats.defer_store_order += 1,
+            DeferCause::ForwardMiss => self.stats.defer_forward_miss += 1,
+            DeferCause::CacheMiss => self.stats.defer_cache_miss += 1,
+        }
+        self.emit(Event::Defer { at: now, cause });
     }
 
     /// Issues ahead-strand instructions. Returns after using `slots` slots
@@ -1073,7 +1131,7 @@ impl SstCore {
                 self.frontend.pop();
                 self.seq += 1;
                 self.stats.ahead_issued += 1;
-                self.defer(&f, now, None);
+                self.defer(&f, now, None, DeferCause::NtSource);
                 continue;
             }
 
@@ -1097,7 +1155,7 @@ impl SstCore {
                         self.frontend.pop();
                         self.seq += 1;
                         self.stats.ahead_issued += 1;
-                        self.defer(&f, now, None);
+                        self.defer(&f, now, None, DeferCause::StoreOrder);
                         if let Some(rd) = inst.dest() {
                             // defer() already marked it NT.
                             let _ = rd;
@@ -1133,7 +1191,7 @@ impl SstCore {
                             self.frontend.pop();
                             self.seq += 1;
                             self.stats.ahead_issued += 1;
-                            self.defer(&f, now, None);
+                            self.defer(&f, now, None, DeferCause::ForwardMiss);
                         }
                         ForwardResult::NoMatch => {
                             if *mem_ops >= self.cfg.dcache_ports {
@@ -1175,6 +1233,7 @@ impl SstCore {
                                         cause_ready: out.ready_at,
                                     });
                                     self.stats.episodes += 1;
+                                    self.emit(Event::CkptTake { at: now, live: 1 });
                                 } else {
                                     self.stats.overlapped_misses += 1;
                                     // Eager checkpointing: anchor a new
@@ -1202,12 +1261,14 @@ impl SstCore {
                                             log: Vec::new(),
                                             cause_ready: out.ready_at,
                                         });
+                                        let live = self.epochs.len() as u32;
+                                        self.emit(Event::CkptTake { at: now, live });
                                     }
                                 }
                                 self.frontend.pop();
                                 self.seq += 1;
                                 self.stats.ahead_issued += 1;
-                                self.defer(&f, now, Some(out.ready_at));
+                                self.defer(&f, now, Some(out.ready_at), DeferCause::CacheMiss);
                             } else {
                                 self.frontend.pop();
                                 self.seq += 1;
@@ -1347,6 +1408,7 @@ impl Core for SstCore {
     fn tick(&mut self, mem: &mut MemBus) {
         let now = self.cycle;
         self.cycle += 1;
+        self.account_phase(now, 1);
         if self.halted {
             return;
         }
@@ -1359,17 +1421,28 @@ impl Core for SstCore {
             self.stb.len()
         );
 
+        let t0 = HostTimes::start(&self.prof);
         self.frontend.tick(now, mem);
+        HostTimes::stop(&mut self.prof, Stage::Fetch, t0);
+
+        let t0 = HostTimes::start(&self.prof);
         self.try_commit(now, mem);
 
         let mut mem_ops = 0usize;
         let (ahead_slots, _suspended) = self.manage_speculation(now, mem, &mut mem_ops);
         self.try_commit(now, mem);
+        HostTimes::stop(&mut self.prof, Stage::Replay, t0);
 
+        let t0 = HostTimes::start(&self.prof);
         if ahead_slots > 0 && !self.halted {
             self.ahead(now, mem, ahead_slots, &mut mem_ops);
         }
         self.try_commit(now, mem);
+        HostTimes::stop(&mut self.prof, Stage::Issue, t0);
+
+        if let Some(tb) = self.tracebuf.as_mut() {
+            tb.sample_occupancy(now, self.dq.len() as u32, self.stb.len() as u32);
+        }
     }
 
     fn cycle(&self) -> Cycle {
@@ -1454,6 +1527,9 @@ impl Core for SstCore {
         let from = self.cycle;
         debug_assert!(from < target && target <= self.next_event_cycle());
         let n = target - from;
+        // The whole window was vouched state-preserving, so the phase at
+        // its first cycle holds across it.
+        self.account_phase(from, n);
         self.frontend.note_skipped(from, target);
         if self.ea_replay_suspended() {
             // Each skipped cycle would have suspended the ahead strand in
@@ -1478,6 +1554,14 @@ impl Core for SstCore {
     fn gate_to(&mut self, target: Cycle) {
         if target <= self.cycle {
             return;
+        }
+        let from = self.cycle;
+        // Gated windows are dead time by construction, not pipeline
+        // cycles: credit them to their own row so the table still sums
+        // to the total cycle count.
+        self.phase_cycles.add(Phase::Gated, target - from);
+        if let Some(tb) = self.tracebuf.as_mut() {
+            tb.set_phase(Phase::Gated, from);
         }
         self.cycle = target;
         // Gated time is intentional idleness, not a wedge: restart the
@@ -1506,6 +1590,10 @@ impl Core for SstCore {
             ("episodes", s.episodes),
             ("epochs_committed", s.epochs_committed),
             ("deferred", s.deferred),
+            ("defer_nt_source", s.defer_nt_source),
+            ("defer_store_order", s.defer_store_order),
+            ("defer_forward_miss", s.defer_forward_miss),
+            ("defer_cache_miss", s.defer_cache_miss),
             ("replayed", s.replayed),
             ("redeferred", s.redeferred),
             ("fail_branch", s.fail_branch),
@@ -1532,5 +1620,40 @@ impl Core for SstCore {
 
     fn leakage(&self) -> Option<&LeakageSummary> {
         self.taint.as_deref().map(|t| &t.summary)
+    }
+
+    fn phases(&self) -> PhaseTable {
+        self.phase_cycles
+    }
+
+    fn set_trace(&mut self, on: bool) {
+        if on {
+            if self.tracebuf.is_none() {
+                self.tracebuf = Some(Box::new(TraceBuf::new()));
+            }
+        } else {
+            self.tracebuf = None;
+        }
+    }
+
+    fn take_trace(&mut self) -> Option<TraceBuf> {
+        self.tracebuf.take().map(|mut tb| {
+            tb.close(self.cycle);
+            *tb
+        })
+    }
+
+    fn set_host_prof(&mut self, on: bool) {
+        if on {
+            if self.prof.is_none() {
+                self.prof = Some(Box::new(HostTimes::new()));
+            }
+        } else {
+            self.prof = None;
+        }
+    }
+
+    fn host_times(&self) -> Option<&HostTimes> {
+        self.prof.as_deref()
     }
 }

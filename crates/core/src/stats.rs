@@ -21,6 +21,17 @@ pub struct SstStats {
     /// (the memory-level-parallelism the paper's mechanism exposes).
     pub overlapped_misses: u64,
 
+    // --- defer-cause taxonomy (rows sum to `deferred`) ---
+    /// Defers caused by an NT source register (dependents of an earlier
+    /// deferred instruction).
+    pub defer_nt_source: u64,
+    /// Loads deferred because an older store's address was unknown.
+    pub defer_store_order: u64,
+    /// Loads deferred by a partial store-buffer forwarding match.
+    pub defer_forward_miss: u64,
+    /// Loads deferred by a long-latency cache miss itself.
+    pub defer_cache_miss: u64,
+
     // --- ahead-thread stalls ---
     /// Cycles the ahead strand issued nothing: empty decode queue.
     pub stall_frontend: u64,

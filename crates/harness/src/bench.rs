@@ -26,10 +26,12 @@
 //! pairs are informational (their wall time depends on host parallelism,
 //! which CI runners do not guarantee).
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use crate::json::JVal;
 use sst_mem::MemConfig;
+use sst_obs::{HostTimes, Stage};
 use sst_sim::{geomean, CmpSystem, CoreModel, System};
 use sst_workloads::{Scale, Workload};
 
@@ -224,6 +226,11 @@ fn run_bench(o: &BenchOpts) -> i32 {
     );
 
     let mut pairs: Vec<PairResult> = Vec::new();
+    // Host-side self-profile: one additional instrumented run per pair,
+    // stage times merged per model. Kept out of the timed runs — the
+    // scoped timers cost a few percent, and Minst/s must measure the
+    // uninstrumented loop.
+    let mut prof_by_model: BTreeMap<String, HostTimes> = BTreeMap::new();
     for model in &models {
         for wname in &o.workloads {
             if Workload::by_name(wname, o.scale, o.seed).is_none() {
@@ -256,18 +263,35 @@ fn run_bench(o: &BenchOpts) -> i32 {
                 minst_per_s,
             );
             pairs.push(PairResult {
-                model: label,
+                model: label.clone(),
                 workload: wname.clone(),
                 insts,
                 cycles,
                 wall_ms: wall * 1e3,
                 minst_per_s,
             });
+
+            let w = Workload::by_name(wname, o.scale, o.seed).expect("checked above");
+            let mut sys = System::new(model.clone(), &w).without_cosim().with_host_prof();
+            if !o.fast_forward {
+                sys = sys.without_fast_forward();
+            }
+            match sys.run_with_profile(BENCH_MAX_CYCLES) {
+                Ok((_, Some(times))) => {
+                    prof_by_model.entry(label).or_insert_with(HostTimes::new).merge(&times);
+                }
+                Ok((_, None)) => {}
+                Err(e) => {
+                    eprintln!("sst-run bench: {label}/{wname} (profiled): {e}");
+                    return 1;
+                }
+            }
         }
     }
 
     let g = geomean(&pairs.iter().map(|p| p.minst_per_s).collect::<Vec<_>>());
     println!("geomean: {g:.2} Minst/s");
+    print_host_profile(&prof_by_model);
 
     let cmp_pairs = if o.cmp {
         match run_cmp_bench(o) {
@@ -281,7 +305,10 @@ fn run_bench(o: &BenchOpts) -> i32 {
         Vec::new()
     };
 
-    if let Err(e) = std::fs::write(&o.out, render_report(o, &pairs, &cmp_pairs, g, host_cpus)) {
+    if let Err(e) = std::fs::write(
+        &o.out,
+        render_report(o, &pairs, &cmp_pairs, &prof_by_model, g, host_cpus),
+    ) {
         eprintln!("sst-run bench: cannot write {}: {e}", o.out);
         return 1;
     }
@@ -392,10 +419,41 @@ fn run_cmp_bench(o: &BenchOpts) -> Result<Vec<CmpPairResult>, String> {
     Ok(out)
 }
 
+/// Prints the per-model host wall-time breakdown gathered from the
+/// profiled runs: where the *simulator* spends its time, per pipeline
+/// stage. `mem` (the memory walk) runs inside issue/replay and is shown
+/// as an overlapping share of the same total rather than a column that
+/// would make the rows sum past 100%.
+fn print_host_profile(prof_by_model: &BTreeMap<String, HostTimes>) {
+    if prof_by_model.is_empty() {
+        return;
+    }
+    println!("host profile (one instrumented run per pair, share of model wall time):");
+    println!(
+        "  {:<8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>10}",
+        "model", "fetch", "decode", "issue", "replay", "other", "mem(ovl)", "total ms"
+    );
+    for (model, t) in prof_by_model {
+        let total = t.total_ns().max(1) as f64;
+        let pct = |s: Stage| t.get(s) as f64 * 100.0 / total;
+        println!(
+            "  {model:<8} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1}% {:>10.1}",
+            pct(Stage::Fetch),
+            pct(Stage::Decode),
+            pct(Stage::Issue),
+            pct(Stage::Replay),
+            pct(Stage::Other),
+            pct(Stage::MemTick),
+            total / 1e6,
+        );
+    }
+}
+
 fn render_report(
     o: &BenchOpts,
     pairs: &[PairResult],
     cmp_pairs: &[CmpPairResult],
+    prof_by_model: &BTreeMap<String, HostTimes>,
     g: f64,
     host_cpus: usize,
 ) -> String {
@@ -460,6 +518,21 @@ fn render_report(
     if let Some(s) = cmp_speedup {
         fields.push(("cmp_parallel_speedup".to_string(), JVal::Num(s)));
     }
+    if !prof_by_model.is_empty() {
+        let per_model: Vec<(String, JVal)> = prof_by_model
+            .iter()
+            .map(|(model, t)| {
+                let mut rows: Vec<(String, JVal)> = t
+                    .rows()
+                    .into_iter()
+                    .map(|(stage, ns)| (format!("{stage}_ns"), JVal::Int(ns)))
+                    .collect();
+                rows.push(("total_ns".to_string(), JVal::Int(t.total_ns())));
+                (model.clone(), JVal::Obj(rows))
+            })
+            .collect();
+        fields.push(("host_profile".to_string(), JVal::Obj(per_model)));
+    }
     fields.push(("geomean_minst_per_s".to_string(), JVal::Num(g)));
     JVal::Obj(fields).render_pretty()
 }
@@ -497,7 +570,7 @@ mod tests {
             wall_ms: 250.0,
             minst_per_s: 4.0,
         }];
-        let body = render_report(&o, &pairs, &[], 4.0, 1);
+        let body = render_report(&o, &pairs, &[], &BTreeMap::new(), 4.0, 1);
         let dir = std::env::temp_dir().join(format!("sst-bench-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_hotloop.json");

@@ -119,6 +119,14 @@ fn serialize(key: &str, out: &JobOutput) -> String {
                     .collect::<Vec<_>>()
                     .join(",")
             ));
+            s.push_str(&format!(
+                "phases={}\n",
+                r.phases
+                    .iter()
+                    .map(|(n, v)| format!("{}:{v}", escape(n)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
             write_mem(&mut s, &r.mem);
         }
         JobOutput::Cmp(r) => {
@@ -296,6 +304,9 @@ fn deserialize(body: &str, expected_key: &str) -> Option<JobOutput> {
                 mem: f.mem()?,
                 counters: f.pair_list("counters")?,
                 inst_mix,
+                // A missing `phases` field (entries written before the
+                // observability layer) is a clean miss: `?` bails.
+                phases: f.pair_list("phases")?,
             }))
         }
         "cmp" => {
@@ -383,6 +394,12 @@ mod tests {
         assert_eq!(b.warmup_insts, r.warmup_insts);
         assert_eq!(b.counters, r.counters);
         assert_eq!(b.inst_mix, r.inst_mix);
+        assert_eq!(b.phases, r.phases);
+        assert_eq!(
+            b.phases.iter().map(|(_, v)| v).sum::<u64>(),
+            b.cycles,
+            "phase rows survive the round-trip summing to total cycles"
+        );
         assert_eq!(b.mem.l1d, r.mem.l1d);
         assert_eq!(b.mem.l2, r.mem.l2);
         assert_eq!(b.mem.dram_reads, r.mem.dram_reads);

@@ -28,6 +28,8 @@ experiments:
 subcommands:
   bench          time the simulation hot loop and report Minst/s
                  (see `sst-run bench --help`)
+  trace          capture a Chrome-trace/Perfetto timeline of an
+                 experiment's jobs (see `sst-run trace --help`)
 
 options:
   --jobs N       worker threads (default: available parallelism)
@@ -42,6 +44,8 @@ environment:
   SST_SEED=<u64>         data-generation seed (default 12345)
   SST_RESULTS=<dir>      output root; results/ is created under it
   SST_MAX_CYCLES=<u64>   per-job cycle budget (default 2e10)
+  SST_TRACE=<path>       legacy shim: behave as `sst-run trace ...
+                         --out <path>` (value 1 means trace.json)
 
 exit status: 0 when every job succeeded, 1 otherwise.";
 
@@ -79,6 +83,23 @@ pub fn cli_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
     if args.peek().map(String::as_str) == Some("bench") {
         args.next();
         return crate::bench::bench_main(args);
+    }
+    if args.peek().map(String::as_str) == Some("trace") {
+        args.next();
+        return crate::trace::trace_main(args);
+    }
+    // Thin shim for the retired in-core SST_TRACE ring — the one place
+    // the variable is still read. `SST_TRACE=<path> sst-run e3` behaves
+    // like `sst-run trace e3 --out <path>` (value "1" or empty keeps the
+    // default trace.json). Simulation code no longer reads it, so
+    // harness-parallel jobs cannot race on a construction-time env read.
+    if let Ok(v) = std::env::var("SST_TRACE") {
+        let mut fwd: Vec<String> = args.collect();
+        if !v.is_empty() && v != "1" {
+            fwd.push("--out".to_string());
+            fwd.push(v);
+        }
+        return crate::trace::trace_main(fwd.into_iter());
     }
     while let Some(a) = args.next() {
         match a.as_str() {

@@ -38,6 +38,7 @@ pub mod job;
 pub mod json;
 pub mod registry;
 pub mod sched;
+pub mod trace;
 
 pub use cli::cli_main;
 pub use job::{JobKind, JobOutput, JobSpec};

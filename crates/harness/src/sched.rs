@@ -129,6 +129,10 @@ struct JobRecord {
     /// `"ok"`, `"cached"`, or `"failed"`.
     status: &'static str,
     duration_ms: u64,
+    /// Host wall time spent *inside* `JobSpec::execute` (0 when the
+    /// result came from the cache) — the simulation cost itself, free of
+    /// cache I/O and scheduling overhead.
+    execute_ns: u64,
     cache_hash: u64,
 }
 
@@ -171,6 +175,7 @@ struct Done {
     job_idx: usize,
     outcome: Outcome,
     duration_ms: u64,
+    execute_ns: u64,
 }
 
 /// Runs `experiments`' jobs on the worker pool, folds each experiment
@@ -207,6 +212,7 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
                     name: j.name.clone(),
                     status: "failed",
                     duration_ms: 0,
+                    execute_ns: 0,
                     cache_hash: j.cache_hash(e.id, &env),
                 })
                 .collect(),
@@ -236,6 +242,7 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
                 let hash = spec.cache_hash(exp_id, &env);
                 let key = spec.cache_key(exp_id, &env);
 
+                let mut execute_ns = 0u64;
                 let outcome = if cfg.use_cache {
                     cache::load(&cfg.out_dir, hash, &key).map(|output| Outcome::Ok {
                         output,
@@ -245,9 +252,12 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
                     None
                 }
                 .unwrap_or_else(|| {
-                    match catch_unwind(AssertUnwindSafe(|| {
+                    let exec_started = Instant::now();
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
                         spec.execute(&env, cfg.sim_threads)
-                    })) {
+                    }));
+                    execute_ns = exec_started.elapsed().as_nanos() as u64;
+                    match caught {
                         Ok(Ok(output)) => {
                             if cfg.use_cache {
                                 // A full cache disk is not a reason to
@@ -276,6 +286,7 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
                         job_idx: ji,
                         outcome,
                         duration_ms: started.elapsed().as_millis() as u64,
+                        execute_ns,
                     })
                     .is_err()
                 {
@@ -290,6 +301,7 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
             done += 1;
             let rec = &mut records[msg.exp_idx].jobs[msg.job_idx];
             rec.duration_ms = msg.duration_ms;
+            rec.execute_ns = msg.execute_ns;
             let (status, detail) = match msg.outcome {
                 Outcome::Ok { output, cached } => {
                     rec.status = if cached { "cached" } else { "ok" };
@@ -470,6 +482,18 @@ fn write_experiment_json(
                             ),
                         ),
                         (
+                            // Per-phase cycle table; rows sum exactly to
+                            // `cycles` (the trace-equivalence suite pins
+                            // this for every model).
+                            "phases".to_string(),
+                            JVal::Obj(
+                                r.phases
+                                    .iter()
+                                    .map(|(n, v)| (n.clone(), JVal::Int(*v)))
+                                    .collect(),
+                            ),
+                        ),
+                        (
                             "mem".to_string(),
                             JVal::obj([
                                 ("l1d_mpki", JVal::Num(r.mem.l1d[0].mpki(r.insts))),
@@ -584,7 +608,9 @@ fn write_manifest(cfg: &RunConfig, summary: &RunSummary) {
                                 JVal::obj([
                                     ("name", JVal::str(&j.name)),
                                     ("status", JVal::str(j.status)),
+                                    ("cached", JVal::Bool(j.status == "cached")),
                                     ("duration_ms", JVal::Int(j.duration_ms)),
+                                    ("execute_ns", JVal::Int(j.execute_ns)),
                                     (
                                         "cache_key",
                                         JVal::str(format!("{:016x}", j.cache_hash)),
@@ -611,6 +637,23 @@ fn write_manifest(cfg: &RunConfig, summary: &RunSummary) {
         })
         .collect();
 
+    // Host wall time actually simulated (cache hits excluded), grouped
+    // by the job-name model token (the part before '/'): the at-a-glance
+    // answer to "which model is eating the run time".
+    let mut by_model: BTreeMap<String, u64> = BTreeMap::new();
+    for e in &summary.records {
+        for j in &e.jobs {
+            if j.execute_ns > 0 {
+                let tok = j.name.split('/').next().unwrap_or(&j.name);
+                *by_model.entry(tok.to_string()).or_insert(0) += j.execute_ns;
+            }
+        }
+    }
+    let wall_by_model: Vec<(String, JVal)> = by_model
+        .into_iter()
+        .map(|(m, ns)| (m, JVal::Int(ns)))
+        .collect();
+
     let doc = JVal::obj([
         ("version", JVal::str(env!("CARGO_PKG_VERSION"))),
         ("scale", JVal::str(cfg.env.scale_token())),
@@ -622,6 +665,7 @@ fn write_manifest(cfg: &RunConfig, summary: &RunSummary) {
         ("total_jobs", JVal::Int(summary.total_jobs as u64)),
         ("cache_hits", JVal::Int(summary.cache_hits as u64)),
         ("failed_jobs", JVal::Int(summary.failures.len() as u64)),
+        ("execute_ns_by_model", JVal::Obj(wall_by_model)),
         ("experiments", JVal::Arr(experiments)),
         ("failures", JVal::Arr(failures)),
     ]);

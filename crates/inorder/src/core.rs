@@ -2,6 +2,7 @@
 
 use sst_isa::{Inst, Program};
 use sst_mem::{AccessKind, Cycle, MemBus};
+use sst_obs::{HostTimes, Phase, Stage, TraceBuf};
 use sst_uarch::{
     execute, extend_load, mem_addr, Commit, Core, ExecLatency, FetchedInst, Frontend,
     FrontendConfig, RegImage, Seq,
@@ -56,6 +57,12 @@ pub struct InOrderCore {
     cycle: Cycle,
     halted: bool,
     commits: Vec<Commit>,
+    /// Typed event trace, present only while tracing is enabled
+    /// (record-only: see the `sst-obs` event-sink contract). An in-order
+    /// core has a single phase, so its track is one `normal` span.
+    trace: Option<Box<TraceBuf>>,
+    /// Host-side stage timers, present only while profiling is enabled.
+    prof: Option<Box<HostTimes>>,
     /// Statistics counters.
     pub stats: InOrderStats,
 }
@@ -75,6 +82,8 @@ impl InOrderCore {
             cycle: 0,
             halted: false,
             commits: Vec::new(),
+            trace: None,
+            prof: None,
             stats: InOrderStats::default(),
         }
     }
@@ -180,11 +189,17 @@ impl Core for InOrderCore {
     fn tick(&mut self, mem: &mut MemBus) {
         let now = self.cycle;
         self.cycle += 1;
+        if let Some(tb) = self.trace.as_mut() {
+            tb.set_phase(Phase::Normal, now);
+        }
         if self.halted {
             return;
         }
+        let t0 = HostTimes::start(&self.prof);
         self.frontend.tick(now, mem);
+        HostTimes::stop(&mut self.prof, Stage::Fetch, t0);
 
+        let t0 = HostTimes::start(&self.prof);
         let mut mem_ops = 0;
         for slot in 0..self.cfg.width {
             let Some(peeked) = self.frontend.peek() else {
@@ -215,6 +230,7 @@ impl Core for InOrderCore {
                 break;
             }
         }
+        HostTimes::stop(&mut self.prof, Stage::Issue, t0);
     }
 
     fn cycle(&self) -> Cycle {
@@ -290,6 +306,37 @@ impl Core for InOrderCore {
             ("cond_predictions", bu.cond_predictions),
             ("cond_mispredictions", bu.cond_mispredictions),
         ]
+    }
+
+    fn set_trace(&mut self, on: bool) {
+        if on {
+            if self.trace.is_none() {
+                self.trace = Some(Box::new(TraceBuf::new()));
+            }
+        } else {
+            self.trace = None;
+        }
+    }
+
+    fn take_trace(&mut self) -> Option<TraceBuf> {
+        self.trace.take().map(|mut tb| {
+            tb.close(self.cycle);
+            *tb
+        })
+    }
+
+    fn set_host_prof(&mut self, on: bool) {
+        if on {
+            if self.prof.is_none() {
+                self.prof = Some(Box::new(HostTimes::new()));
+            }
+        } else {
+            self.prof = None;
+        }
+    }
+
+    fn host_times(&self) -> Option<&HostTimes> {
+        self.prof.as_deref()
     }
 }
 

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use sst_isa::{Inst, Program, Reg};
 use sst_mem::{AccessKind, Cycle, MemBus};
+use sst_obs::{HostTimes, Phase, Stage, TraceBuf};
 use sst_uarch::{
     execute, extend_load, mem_addr, Commit, Core, ExecLatency, Frontend, FrontendConfig,
     LeakageSummary, Seq, SquashCounts, TaintState,
@@ -230,6 +231,13 @@ pub struct OooCore {
     /// [`OooConfig::taint`] is set, so the disabled path costs one
     /// discriminant test per hook.
     taint: Option<Box<TaintState>>,
+    /// Typed event trace, present only while tracing is enabled
+    /// (record-only: see the `sst-obs` event-sink contract). The OoO
+    /// core has a single phase, so its track is one `normal` span plus
+    /// ROB-occupancy samples.
+    trace: Option<Box<TraceBuf>>,
+    /// Host-side stage timers, present only while profiling is enabled.
+    prof: Option<Box<HostTimes>>,
     commits: Vec<Commit>,
     /// Statistics.
     pub stats: OooStats,
@@ -263,6 +271,8 @@ impl OooCore {
             phantom_count: 0,
             issue_quiet_until: 0,
             taint,
+            trace: None,
+            prof: None,
             commits: Vec::new(),
             stats: OooStats::default(),
         }
@@ -943,16 +953,28 @@ impl Core for OooCore {
     fn tick(&mut self, mem: &mut MemBus) {
         let now = self.cycle;
         self.cycle += 1;
+        if let Some(tb) = self.trace.as_mut() {
+            tb.set_phase(Phase::Normal, now);
+            tb.sample_occupancy(now, self.rob.len() as u32, self.n_stores as u32);
+        }
         if self.halted {
             return;
         }
         debug_assert!(self.counts_consistent());
+        let t0 = HostTimes::start(&self.prof);
         self.frontend.tick(now, mem);
+        HostTimes::stop(&mut self.prof, Stage::Fetch, t0);
+
+        let t0 = HostTimes::start(&self.prof);
         self.commit(now, mem);
         if now >= self.issue_quiet_until {
             self.issue(now, mem);
         }
+        HostTimes::stop(&mut self.prof, Stage::Issue, t0);
+
+        let t0 = HostTimes::start(&self.prof);
         self.rename(now, mem);
+        HostTimes::stop(&mut self.prof, Stage::Decode, t0);
     }
 
     fn cycle(&self) -> Cycle {
@@ -1046,5 +1068,36 @@ impl Core for OooCore {
 
     fn leakage(&self) -> Option<&LeakageSummary> {
         self.taint.as_deref().map(|t| &t.summary)
+    }
+
+    fn set_trace(&mut self, on: bool) {
+        if on {
+            if self.trace.is_none() {
+                self.trace = Some(Box::new(TraceBuf::new()));
+            }
+        } else {
+            self.trace = None;
+        }
+    }
+
+    fn take_trace(&mut self) -> Option<TraceBuf> {
+        self.trace.take().map(|mut tb| {
+            tb.close(self.cycle);
+            *tb
+        })
+    }
+
+    fn set_host_prof(&mut self, on: bool) {
+        if on {
+            if self.prof.is_none() {
+                self.prof = Some(Box::new(HostTimes::new()));
+            }
+        } else {
+            self.prof = None;
+        }
+    }
+
+    fn host_times(&self) -> Option<&HostTimes> {
+        self.prof.as_deref()
     }
 }

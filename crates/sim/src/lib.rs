@@ -37,4 +37,4 @@ pub use checker::{CosimError, RetireChecker};
 pub use cmp::{CmpResult, CmpSystem};
 pub use models::CoreModel;
 pub use service::{Lane, Request, WorkSource};
-pub use system::{geomean, RunResult, System};
+pub use system::{geomean, RunResult, System, SystemTrace};

@@ -3,6 +3,7 @@
 
 use sst_isa::InstClass;
 use sst_mem::{Cycle, MemConfig, MemStats, MemSystem};
+use sst_obs::{HostTimes, TraceBuf};
 use sst_uarch::Core;
 use sst_workloads::Workload;
 
@@ -31,6 +32,11 @@ pub struct RunResult {
     pub counters: Vec<(String, u64)>,
     /// Committed-instruction mix, indexed like [`InstClass::ALL`].
     pub inst_mix: [u64; 10],
+    /// Per-phase cycle accounting (`Core::phases`), in stable phase
+    /// order. The rows sum exactly to [`RunResult::cycles`] — the
+    /// trace-equivalence suite pins this for every model — so the table
+    /// is a true decomposition of where the run's time went.
+    pub phases: Vec<(String, u64)>,
 }
 
 impl RunResult {
@@ -69,6 +75,21 @@ impl RunResult {
     pub fn mix_fraction(&self, class: InstClass) -> f64 {
         self.inst_mix[class.index()] as f64 / self.insts.max(1) as f64
     }
+
+    /// Looks up a phase row by label (`None` for unknown labels).
+    pub fn phase(&self, label: &str) -> Option<u64> {
+        self.phases.iter().find(|(n, _)| n == label).map(|(_, v)| *v)
+    }
+}
+
+/// The trace bundle captured by [`System::run_with_trace`]: the core's
+/// typed pipeline events and the memory port's demand-miss lifetimes.
+#[derive(Debug)]
+pub struct SystemTrace {
+    /// The core's event ring (`None` for cores that emit nothing).
+    pub core: Option<TraceBuf>,
+    /// The memory port's miss-span ring.
+    pub mem: Option<TraceBuf>,
 }
 
 /// A single core attached to its own memory hierarchy, running one
@@ -122,6 +143,27 @@ impl System {
         self
     }
 
+    /// Enables typed event tracing on the core and its memory port.
+    /// Record-only (the `sst-obs` event-sink contract): a traced run's
+    /// [`RunResult`] is byte-identical to an untraced one, which
+    /// `crates/sim/tests/trace_equiv.rs` enforces. Collect the events
+    /// with [`System::run_with_trace`].
+    pub fn with_tracing(mut self) -> System {
+        self.core.set_trace(true);
+        self.mem.set_trace(0, true);
+        self
+    }
+
+    /// Enables host-side self-profiling: wall-time scoped timers around
+    /// the core's pipeline stages and the memory port's timing walks.
+    /// Record-only, like tracing. Collect with
+    /// [`System::run_with_profile`].
+    pub fn with_host_prof(mut self) -> System {
+        self.core.set_host_prof(true);
+        self.mem.set_host_prof(true);
+        self
+    }
+
     /// Runs to `halt`, co-simulating every commit when enabled.
     ///
     /// # Errors
@@ -148,6 +190,45 @@ impl System {
         let result = self.run_inner(max_cycles)?;
         let leakage = self.core.leakage().cloned();
         Ok((result, leakage))
+    }
+
+    /// Runs to `halt` like [`System::run_checked`], additionally
+    /// returning the captured trace bundle. Enable capture with
+    /// [`System::with_tracing`] first; without it both rings are `None`.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::run_checked`].
+    pub fn run_with_trace(
+        mut self,
+        max_cycles: Cycle,
+    ) -> Result<(RunResult, SystemTrace), CosimError> {
+        let result = self.run_inner(max_cycles)?;
+        let trace = SystemTrace {
+            core: self.core.take_trace(),
+            mem: self.mem.take_trace(0),
+        };
+        Ok((result, trace))
+    }
+
+    /// Runs to `halt` like [`System::run_checked`], additionally
+    /// returning the host-side stage times (core stages merged with the
+    /// memory port's walk time). Enable with [`System::with_host_prof`]
+    /// first; without it the times are `None`.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::run_checked`].
+    pub fn run_with_profile(
+        mut self,
+        max_cycles: Cycle,
+    ) -> Result<(RunResult, Option<HostTimes>), CosimError> {
+        let result = self.run_inner(max_cycles)?;
+        let mut times = self.core.host_times().copied();
+        if let Some(m) = self.mem.host_times() {
+            times.get_or_insert_with(HostTimes::new).merge(&m);
+        }
+        Ok((result, times))
     }
 
     fn run_inner(&mut self, max_cycles: Cycle) -> Result<RunResult, CosimError> {
@@ -216,6 +297,13 @@ impl System {
                 .map(|(n, v)| (n.to_string(), v))
                 .collect(),
             inst_mix,
+            phases: self
+                .core
+                .phases()
+                .rows()
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
         })
     }
 

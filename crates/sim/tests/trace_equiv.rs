@@ -1,0 +1,101 @@
+//! Tracing zero-cost equivalence suite (the observability layer's
+//! contract, mirroring `taint_equiv.rs`).
+//!
+//! Event tracing and host-side self-profiling are purely observational:
+//! they may allocate their own rings and timers, but they must never
+//! touch timing, architectural state, counters, or memory-system
+//! statistics. Traces are reported exclusively through
+//! `System::run_with_trace` (and host times through
+//! `System::run_with_profile`) — never through `RunResult` — precisely
+//! so this suite can demand *byte-identical* results with tracing on
+//! and off.
+//!
+//! Covered: all five compared models (in-order / scout / execute-ahead /
+//! SST / OoO) on a replay-heavy commercial workload and on the E13
+//! gadget whose rollback churn stresses every sweep path. Co-simulation
+//! stays on, so commit streams are also checked instruction by
+//! instruction. The suite additionally pins the per-phase accounting
+//! invariant: the `RunResult::phases` rows sum exactly to total cycles.
+
+use sst_sim::{CoreModel, System};
+use sst_workloads::{Scale, Workload};
+
+const MAX_CYCLES: u64 = 200_000_000;
+const WORKLOADS: [&str; 2] = ["oltp", "g_bcb"];
+const MODELS: [CoreModel; 5] = [
+    CoreModel::InOrder,
+    CoreModel::Scout,
+    CoreModel::ExecuteAhead,
+    CoreModel::Sst,
+    CoreModel::Ooo32,
+];
+
+fn workload(name: &str) -> Workload {
+    Workload::by_name(name, Scale::Smoke, 3).unwrap()
+}
+
+fn run_plain(model: CoreModel, wname: &str) -> sst_sim::RunResult {
+    let label = model.label();
+    System::new(model, &workload(wname))
+        .run_checked(MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{label} on {wname} (trace off): {e}"))
+}
+
+#[test]
+fn trace_on_is_byte_identical() {
+    for wname in WORKLOADS {
+        for model in MODELS {
+            let label = model.label();
+            let a = run_plain(model.clone(), wname);
+            let (b, trace) = System::new(model, &workload(wname))
+                .with_tracing()
+                .run_with_trace(MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{label} on {wname} (trace on): {e}"));
+            assert_eq!(a, b, "{label} on {wname}: trace on/off runs diverged");
+            let core = trace.core.expect("tracing was enabled");
+            assert!(!core.is_empty(), "{label} on {wname}: core ring is empty");
+        }
+    }
+}
+
+#[test]
+fn host_profiling_on_is_byte_identical() {
+    for wname in WORKLOADS {
+        for model in MODELS {
+            let label = model.label();
+            let a = run_plain(model.clone(), wname);
+            let (b, times) = System::new(model, &workload(wname))
+                .with_host_prof()
+                .run_with_profile(MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{label} on {wname} (prof on): {e}"));
+            assert_eq!(a, b, "{label} on {wname}: profiling on/off runs diverged");
+            let times = times.expect("profiling was enabled");
+            assert!(
+                times.total_ns() > 0,
+                "{label} on {wname}: profiled run recorded no time"
+            );
+        }
+    }
+}
+
+/// Every cycle the run took lands in exactly one phase row — the table
+/// is a partition of the timeline, not a sample.
+#[test]
+fn phase_rows_sum_to_total_cycles() {
+    for wname in WORKLOADS {
+        for model in MODELS {
+            let label = model.label();
+            let r = run_plain(model, wname);
+            let total: u64 = r.phases.iter().map(|&(_, v)| v).sum();
+            assert_eq!(
+                total, r.cycles,
+                "{label} on {wname}: phase rows sum to {total}, run took {} cycles",
+                r.cycles
+            );
+            assert!(
+                !r.phases.is_empty(),
+                "{label} on {wname}: no phase rows in RunResult"
+            );
+        }
+    }
+}

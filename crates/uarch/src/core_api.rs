@@ -148,6 +148,49 @@ pub trait Core: Send {
     fn leakage(&self) -> Option<&crate::LeakageSummary> {
         None
     }
+
+    /// The per-phase cycle table: how many cycles the core has spent in
+    /// each pipeline phase (see [`sst_obs::Phase`]). The invariant —
+    /// enforced by the trace-equivalence suite — is that the rows sum
+    /// exactly to [`Core::cycle`], however the clock advanced (ticks,
+    /// [`Core::skip_to`], or [`Core::gate_to`]). The default covers
+    /// non-speculating cores: every cycle is `normal`.
+    fn phases(&self) -> sst_obs::PhaseTable {
+        let mut t = sst_obs::PhaseTable::new();
+        t.add(sst_obs::Phase::Normal, self.cycle());
+        t
+    }
+
+    /// Enables (or disables) typed event tracing into an internal
+    /// [`sst_obs::TraceBuf`]. The event-sink contract is the taint
+    /// layer's, verbatim: tracing is record-only, so an enabled run's
+    /// `RunResult` is byte-identical to a disabled one (enforced by
+    /// `crates/sim/tests/trace_equiv.rs`). The default is a no-op for
+    /// cores that emit nothing; they still trace their phase track via
+    /// the driver-side [`Core::phases`] table.
+    fn set_trace(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Takes the recorded trace, leaving tracing disabled. `None` when
+    /// tracing was never enabled or the core emits nothing.
+    fn take_trace(&mut self) -> Option<sst_obs::TraceBuf> {
+        None
+    }
+
+    /// Enables (or disables) host-side self-profiling: scoped wall-time
+    /// timers around the core's fetch/decode/issue/replay stages (see
+    /// [`sst_obs::HostTimes`]). Record-only, like tracing: a profiled
+    /// run's `RunResult` is byte-identical to an unprofiled one. The
+    /// default is a no-op.
+    fn set_host_prof(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// The accumulated host stage times, when profiling is enabled.
+    fn host_times(&self) -> Option<&sst_obs::HostTimes> {
+        None
+    }
 }
 
 #[cfg(test)]
