@@ -11,6 +11,7 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use sst_mem::{CacheStats, MemStats};
 use sst_sim::{CmpResult, RunResult};
@@ -43,6 +44,106 @@ pub fn store(out_dir: &Path, hash: u64, key: &str, out: &JobOutput) -> io::Resul
 pub fn load(out_dir: &Path, hash: u64, key: &str) -> Option<JobOutput> {
     let body = fs::read_to_string(entry_path(out_dir, hash)).ok()?;
     deserialize(&body, key)
+}
+
+fn claim_path(out_dir: &Path, hash: u64) -> PathBuf {
+    cache_dir(out_dir).join(format!("{hash:016x}.claim"))
+}
+
+/// Outcome of a [`claim`] attempt on a cache entry.
+pub enum Claim {
+    /// This process won the claim and must execute the job (then drop the
+    /// guard, which removes the claim file).
+    Won(ClaimGuard),
+    /// Another live process holds the claim; wait for its published
+    /// entry instead of duplicating the work.
+    Lost,
+}
+
+/// RAII holder for a won claim: dropping it deletes the claim file, so a
+/// claim is released whether the job succeeds, fails, or panics (the
+/// scheduler keeps the guard across its `catch_unwind`).
+pub struct ClaimGuard {
+    path: PathBuf,
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        fs::remove_file(&self.path).ok();
+    }
+}
+
+/// Attempts to claim the right to execute the job behind `hash`.
+///
+/// The claim file is created with `create_new` — an atomic
+/// exists-check-and-create on every platform the workspace targets — so
+/// exactly one of N concurrent `sst-run` processes wins. The file body
+/// records the claimant's pid for post-mortem debugging; nothing reads
+/// it programmatically.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than "already exists" (which is
+/// [`Claim::Lost`]).
+pub fn claim(out_dir: &Path, hash: u64) -> io::Result<Claim> {
+    let dir = cache_dir(out_dir);
+    fs::create_dir_all(&dir)?;
+    let path = claim_path(out_dir, hash);
+    match fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            use std::io::Write;
+            write!(f, "pid={}\n", std::process::id()).ok();
+            Ok(Claim::Won(ClaimGuard { path }))
+        }
+        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(Claim::Lost),
+        Err(e) => Err(e),
+    }
+}
+
+/// Age of the claim file for `hash`, if one exists. A very old claim
+/// means the claimant died without unwinding (SIGKILL, power loss) —
+/// its guard never dropped — and the claim should be reaped.
+pub fn claim_age(out_dir: &Path, hash: u64) -> Option<Duration> {
+    let meta = fs::metadata(claim_path(out_dir, hash)).ok()?;
+    meta.modified().ok()?.elapsed().ok()
+}
+
+/// Removes the claim file for `hash` (used to break a stale claim before
+/// re-claiming).
+pub fn remove_claim(out_dir: &Path, hash: u64) {
+    fs::remove_file(claim_path(out_dir, hash)).ok();
+}
+
+/// Deletes every claim file under `out_dir` older than `grace`,
+/// returning how many were reaped. Run at scheduler start-up: claims
+/// normally live for one job's duration and are removed by their guard,
+/// so anything past a generous grace period is wreckage from a killed
+/// process that would otherwise wedge every future run on that entry.
+pub fn reap_stale_claims(out_dir: &Path, grace: Duration) -> usize {
+    let Ok(entries) = fs::read_dir(cache_dir(out_dir)) else {
+        return 0;
+    };
+    let mut reaped = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("claim") {
+            continue;
+        }
+        let stale = entry
+            .metadata()
+            .ok()
+            .and_then(|m| m.modified().ok())
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age >= grace);
+        if stale && fs::remove_file(&path).is_ok() {
+            reaped += 1;
+        }
+    }
+    reaped
 }
 
 /// Percent-escapes the characters that are structural in the `.kv`
@@ -488,6 +589,61 @@ mod tests {
         fs::create_dir_all(cache_dir(&dir)).unwrap();
         fs::write(cache_dir(&dir).join(format!("{:016x}.kv", 9u64)), "key=k\nkind=run\n").unwrap();
         assert!(load(&dir, 9, "k").is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn claims_are_exclusive_and_released_on_drop() {
+        let dir = tmp_dir("claim");
+        let won = claim(&dir, 100).unwrap();
+        assert!(matches!(won, Claim::Won(_)), "first claim wins");
+        // While held, every other attempt loses.
+        assert!(matches!(claim(&dir, 100).unwrap(), Claim::Lost));
+        assert!(claim_age(&dir, 100).is_some());
+        // A different hash is an independent claim.
+        assert!(matches!(claim(&dir, 101).unwrap(), Claim::Won(_)));
+        // Dropping the guard releases the claim; it can be won again.
+        drop(won);
+        assert!(claim_age(&dir, 100).is_none(), "guard removed the file");
+        assert!(matches!(claim(&dir, 100).unwrap(), Claim::Won(_)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_claims_are_reaped_fresh_ones_kept() {
+        let dir = tmp_dir("reap");
+        let _held = claim(&dir, 200).unwrap();
+        let _also = claim(&dir, 201).unwrap();
+        // A generous grace keeps freshly created claims.
+        assert_eq!(reap_stale_claims(&dir, Duration::from_secs(3600)), 0);
+        assert!(claim_age(&dir, 200).is_some());
+        // Zero grace makes every claim "stale" without having to forge
+        // file mtimes; both get reaped and the entries are re-claimable.
+        assert_eq!(reap_stale_claims(&dir, Duration::ZERO), 2);
+        assert!(claim_age(&dir, 200).is_none());
+        let reclaimed = claim(&dir, 200).unwrap();
+        assert!(matches!(reclaimed, Claim::Won(_)));
+        // Reaping ignores .kv entries and tolerates a missing cache dir.
+        store(&dir, 300, "k", &JobOutput::Run(some_run())).unwrap();
+        assert_eq!(reap_stale_claims(&dir, Duration::ZERO), 1, "only the re-claim");
+        drop(reclaimed);
+        assert!(load(&dir, 300, "k").is_some(), "cache entry untouched");
+        assert_eq!(reap_stale_claims(&tmp_dir("reap-empty"), Duration::ZERO), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_claim_breaks_a_stale_holder() {
+        let dir = tmp_dir("break");
+        let won = claim(&dir, 400).unwrap();
+        assert!(matches!(claim(&dir, 400).unwrap(), Claim::Lost));
+        remove_claim(&dir, 400);
+        assert!(matches!(claim(&dir, 400).unwrap(), Claim::Won(_)));
+        // Note the dead holder's guard deletes by path, so breaking a
+        // claim whose holder is still alive would release the new
+        // claimant's file too — which is why the scheduler only breaks
+        // claims past the grace period, when the holder is long dead.
+        drop(won);
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -36,6 +36,12 @@ options:
   --threads N    simulation threads per CMP job (default 1; results
                  are byte-identical for any value)
   --no-cache     ignore and do not populate results/cache/
+  --shard I/N    scale-out partition: execute only jobs whose cache
+                 hash lands in shard I of N (0 <= I < N). Launch N
+                 processes with the same out dir and I=0..N-1; they
+                 divide the work deterministically with no duplicate
+                 execution (claim files cover stragglers), and a final
+                 unsharded run folds everything from the shared cache
   --list         list experiments and exit
   --help         this text
 
@@ -44,10 +50,22 @@ environment:
   SST_SEED=<u64>         data-generation seed (default 12345)
   SST_RESULTS=<dir>      output root; results/ is created under it
   SST_MAX_CYCLES=<u64>   per-job cycle budget (default 2e10)
+  SST_MANIFEST=<name>    manifest filename under results/ (default
+                         manifest.json; give concurrent schedulers on
+                         one out dir distinct names)
   SST_TRACE=<path>       legacy shim: behave as `sst-run trace ...
                          --out <path>` (value 1 means trace.json)
 
 exit status: 0 when every job succeeded, 1 otherwise.";
+
+/// Parses a `--shard` value `"I/N"`; `None` on any malformed or
+/// out-of-range input.
+fn parse_shard(v: &str) -> Option<(usize, usize)> {
+    let (i, n) = v.split_once('/')?;
+    let i: usize = i.trim().parse().ok()?;
+    let n: usize = n.trim().parse().ok()?;
+    (n >= 1 && i < n).then_some((i, n))
+}
 
 /// `--list`: experiments grouped by family, one line each.
 fn print_list() {
@@ -144,6 +162,22 @@ pub fn cli_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
                     }
                 }
             }
+            "--shard" => match args.next().as_deref().and_then(parse_shard) {
+                Some(s) => cfg.shard = Some(s),
+                None => {
+                    eprintln!("sst-run: --shard needs I/N with 0 <= I < N (e.g. 0/4)");
+                    return 2;
+                }
+            },
+            _ if a.starts_with("--shard=") => {
+                match parse_shard(&a["--shard=".len()..]) {
+                    Some(s) => cfg.shard = Some(s),
+                    None => {
+                        eprintln!("sst-run: --shard needs I/N with 0 <= I < N (e.g. 0/4)");
+                        return 2;
+                    }
+                }
+            }
             "all" => want_all = true,
             _ if a.starts_with('-') => {
                 eprintln!("sst-run: unknown option {a:?}\n\n{USAGE}");
@@ -151,6 +185,13 @@ pub fn cli_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
             }
             _ => tokens.push(a),
         }
+    }
+
+    if cfg.shard.is_some() && !cfg.use_cache {
+        // Shards exchange results exclusively through the shared cache;
+        // without it they could never be merged.
+        eprintln!("sst-run: --shard requires the cache (drop --no-cache)");
+        return 2;
     }
 
     let experiments = if want_all {
@@ -203,8 +244,11 @@ fn run_and_report(experiments: &[registry::Experiment], cfg: &RunConfig) -> i32 
         experiments.iter().map(|e| (e.jobs)(&env).len()).sum()
     };
     if !cfg.quiet {
+        let shard = cfg
+            .shard
+            .map_or(String::new(), |(i, n)| format!(", shard {i}/{n}"));
         println!(
-            "sst-run: {} experiment(s), {} job(s), {} worker(s), scale={}, cache {}",
+            "sst-run: {} experiment(s), {} job(s), {} worker(s), scale={}, cache {}{shard}",
             experiments.len(),
             n_jobs,
             cfg.jobs,

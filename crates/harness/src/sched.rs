@@ -14,7 +14,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::job::{JobOutput, JobSpec};
 use crate::json::JVal;
@@ -39,7 +39,21 @@ pub struct RunConfig {
     pub env: Env,
     /// Suppress per-job progress lines (tests).
     pub quiet: bool,
+    /// Scale-out partition `(index, count)` from `--shard i/n`: this
+    /// process *executes* only the jobs whose cache hash satisfies
+    /// `hash % n == i`. Non-owned jobs still serve from the cache when
+    /// another shard has already published them; otherwise they are
+    /// recorded as `"skipped"` — never failed. `None` owns everything.
+    pub shard: Option<(usize, usize)>,
 }
+
+/// How long a claim file may exist before any scheduler may break it.
+/// Claims normally live for one job's execution and are removed by their
+/// RAII guard even on panic; only a SIGKILLed process leaves one behind.
+const STALE_CLAIM_GRACE: Duration = Duration::from_secs(600);
+
+/// Poll interval while waiting for a claim holder to publish its result.
+const CLAIM_POLL: Duration = Duration::from_millis(25);
 
 impl RunConfig {
     /// Defaults: available parallelism, cache on, env + out dir from the
@@ -54,6 +68,7 @@ impl RunConfig {
             out_dir: crate::out_dir_from_os(),
             env: Env::from_os(),
             quiet: false,
+            shard: None,
         }
     }
 }
@@ -126,7 +141,8 @@ pub struct FailureRecord {
 #[derive(Clone, Debug)]
 struct JobRecord {
     name: String,
-    /// `"ok"`, `"cached"`, or `"failed"`.
+    /// `"ok"`, `"cached"`, `"skipped"` (owned by another shard), or
+    /// `"failed"`.
     status: &'static str,
     duration_ms: u64,
     /// Host wall time spent *inside* `JobSpec::execute` (0 when the
@@ -159,14 +175,33 @@ impl RunSummary {
     ///
     /// Checking `folded` as well as `failures` means a fold that panicked
     /// — or was skipped because its inputs never materialised — can never
-    /// masquerade as a clean run.
+    /// masquerade as a clean run. The one exception: an experiment left
+    /// unfolded *only* because jobs belong to other shards is still
+    /// clean — sharded runs fold when the last shard finds every input
+    /// in the shared cache.
     pub fn clean(&self) -> bool {
-        self.failures.is_empty() && self.records.iter().all(|r| r.folded)
+        self.failures.is_empty()
+            && self.records.iter().all(|r| {
+                r.folded || r.jobs.iter().any(|j| j.status == "skipped")
+            })
+    }
+
+    /// Jobs this process actually executed (neither cached nor skipped).
+    /// The sharding tests use this to prove no job ran twice across
+    /// concurrent schedulers on one output directory.
+    pub fn executed_jobs(&self) -> usize {
+        self.records
+            .iter()
+            .flat_map(|r| &r.jobs)
+            .filter(|j| j.status == "ok")
+            .count()
     }
 }
 
 enum Outcome {
     Ok { output: JobOutput, cached: bool },
+    /// Owned by another shard and not (yet) in the shared cache.
+    Skipped,
     Failed { kind: &'static str, message: String },
 }
 
@@ -183,6 +218,12 @@ struct Done {
 /// outputs and `results/manifest.json`, and returns the summary.
 pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
     let env = cfg.env;
+    if cfg.use_cache {
+        let reaped = cache::reap_stale_claims(&cfg.out_dir, STALE_CLAIM_GRACE);
+        if reaped > 0 && !cfg.quiet {
+            println!("reaped {reaped} stale claim file(s) from a dead scheduler");
+        }
+    }
     let per_exp_jobs: Vec<Vec<JobSpec>> = experiments.iter().map(|e| (e.jobs)(&env)).collect();
     let total: usize = per_exp_jobs.iter().map(|v| v.len()).sum();
 
@@ -242,16 +283,78 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
                 let hash = spec.cache_hash(exp_id, &env);
                 let key = spec.cache_key(exp_id, &env);
 
+                let owned = cfg
+                    .shard
+                    .map_or(true, |(i, n)| hash % n.max(1) as u64 == i as u64);
+
                 let mut execute_ns = 0u64;
-                let outcome = if cfg.use_cache {
-                    cache::load(&cfg.out_dir, hash, &key).map(|output| Outcome::Ok {
-                        output,
-                        cached: true,
-                    })
-                } else {
-                    None
-                }
-                .unwrap_or_else(|| {
+                let outcome = 'job: {
+                    if cfg.use_cache {
+                        if let Some(output) = cache::load(&cfg.out_dir, hash, &key) {
+                            break 'job Outcome::Ok {
+                                output,
+                                cached: true,
+                            };
+                        }
+                    }
+                    if !owned {
+                        // Another shard's job; it will execute and
+                        // publish it. Don't wait — the fold either runs
+                        // on a later (cached) pass or on whichever shard
+                        // finishes last.
+                        break 'job Outcome::Skipped;
+                    }
+                    // Claim the entry so N concurrent schedulers sharing
+                    // this output directory (same shard spec, or no
+                    // sharding at all) never duplicate an execution: one
+                    // wins and runs the job, the rest poll for its
+                    // published entry.
+                    let _claim_guard = if cfg.use_cache {
+                        loop {
+                            match cache::claim(&cfg.out_dir, hash) {
+                                Ok(cache::Claim::Won(guard)) => {
+                                    // The previous holder may have
+                                    // published between our miss and this
+                                    // win; re-check before executing.
+                                    if let Some(output) =
+                                        cache::load(&cfg.out_dir, hash, &key)
+                                    {
+                                        break 'job Outcome::Ok {
+                                            output,
+                                            cached: true,
+                                        };
+                                    }
+                                    break Some(guard);
+                                }
+                                Ok(cache::Claim::Lost) => {
+                                    std::thread::sleep(CLAIM_POLL);
+                                    if let Some(output) =
+                                        cache::load(&cfg.out_dir, hash, &key)
+                                    {
+                                        break 'job Outcome::Ok {
+                                            output,
+                                            cached: true,
+                                        };
+                                    }
+                                    // A holder that died without
+                                    // unwinding (SIGKILL) never removes
+                                    // its claim; break it after the grace
+                                    // period and contend again.
+                                    if cache::claim_age(&cfg.out_dir, hash)
+                                        .is_some_and(|age| age >= STALE_CLAIM_GRACE)
+                                    {
+                                        cache::remove_claim(&cfg.out_dir, hash);
+                                    }
+                                }
+                                // A filesystem error creating the claim
+                                // (read-only cache dir, quota) must not
+                                // lose the run: execute unclaimed.
+                                Err(_) => break None,
+                            }
+                        }
+                    } else {
+                        None
+                    };
                     let exec_started = Instant::now();
                     let caught = catch_unwind(AssertUnwindSafe(|| {
                         spec.execute(&env, cfg.sim_threads)
@@ -278,7 +381,10 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
                             message: panic_message(payload.as_ref()),
                         },
                     }
-                });
+                    // `_claim_guard` drops here, releasing the claim
+                    // after the result is published (or the failure is
+                    // final) — waiters then load the entry or re-claim.
+                };
 
                 if tx
                     .send(Done {
@@ -311,6 +417,10 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
                     results[msg.exp_idx][msg.job_idx] = Some(output);
                     (rec.status, String::new())
                 }
+                Outcome::Skipped => {
+                    rec.status = "skipped";
+                    ("skipped", " (other shard)".to_string())
+                }
                 Outcome::Failed { kind, message } => {
                     rec.status = "failed";
                     failures.push(FailureRecord {
@@ -340,11 +450,24 @@ pub fn run(experiments: &[Experiment], cfg: &RunConfig) -> RunSummary {
         let complete = results[ei].iter().all(|r| r.is_some());
         if !complete {
             if !cfg.quiet {
-                println!(
-                    "\n{}: skipping fold — {} job(s) failed (see results/manifest.json)",
-                    exp.id,
-                    results[ei].iter().filter(|r| r.is_none()).count()
-                );
+                let missing = results[ei].iter().filter(|r| r.is_none()).count();
+                let skipped = records[ei]
+                    .jobs
+                    .iter()
+                    .filter(|j| j.status == "skipped")
+                    .count();
+                if skipped == missing {
+                    println!(
+                        "\n{}: skipping fold — {} job(s) owned by other shards \
+                         (re-run unsharded once all shards finish to fold from cache)",
+                        exp.id, skipped
+                    );
+                } else {
+                    println!(
+                        "\n{}: skipping fold — {} job(s) failed (see results/manifest.json)",
+                        exp.id, missing
+                    );
+                }
             }
             continue;
         }
@@ -661,6 +784,13 @@ fn write_manifest(cfg: &RunConfig, summary: &RunSummary) {
         ("max_cycles", JVal::Int(cfg.env.max_cycles)),
         ("workers", JVal::Int(cfg.jobs as u64)),
         ("sim_threads", JVal::Int(cfg.sim_threads as u64)),
+        (
+            "shard",
+            JVal::str(
+                cfg.shard
+                    .map_or("-".to_string(), |(i, n)| format!("{i}/{n}")),
+            ),
+        ),
         ("cache_enabled", JVal::Bool(cfg.use_cache)),
         ("total_jobs", JVal::Int(summary.total_jobs as u64)),
         ("cache_hits", JVal::Int(summary.cache_hits as u64)),
@@ -669,7 +799,11 @@ fn write_manifest(cfg: &RunConfig, summary: &RunSummary) {
         ("experiments", JVal::Arr(experiments)),
         ("failures", JVal::Arr(failures)),
     ]);
+    // `SST_MANIFEST` renames the manifest so concurrent schedulers on a
+    // shared output directory (the two-process CI smoke, shard fleets)
+    // don't clobber each other's run records.
+    let name = std::env::var("SST_MANIFEST").unwrap_or_else(|_| "manifest.json".to_string());
     let dir = results_dir(cfg);
     let _ = fs::create_dir_all(&dir);
-    let _ = fs::write(dir.join("manifest.json"), doc.render_pretty());
+    let _ = fs::write(dir.join(name), doc.render_pretty());
 }

@@ -33,6 +33,7 @@ fn cfg(out: &Path, jobs: usize, use_cache: bool) -> RunConfig {
         out_dir: out.to_path_buf(),
         env: smoke_env(),
         quiet: true,
+        shard: None,
     }
 }
 

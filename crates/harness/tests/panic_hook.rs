@@ -38,6 +38,7 @@ fn cfg(out: &Path) -> RunConfig {
             max_cycles: 100_000_000,
         },
         quiet: true,
+        shard: None,
     }
 }
 

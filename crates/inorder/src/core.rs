@@ -1,6 +1,6 @@
 //! The in-order pipeline model.
 
-use sst_isa::{Inst, Program};
+use sst_isa::{Inst, Program, Reg, SnapError, SnapReader, SnapWriter, NUM_REGS};
 use sst_mem::{AccessKind, Cycle, MemBus};
 use sst_obs::{HostTimes, Phase, Stage, TraceBuf};
 use sst_uarch::{
@@ -337,6 +337,74 @@ impl Core for InOrderCore {
 
     fn host_times(&self) -> Option<&HostTimes> {
         self.prof.as_deref()
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.tag("INOC");
+        w.put_u64(self.cycle);
+        w.put_u64(self.seq);
+        w.put_bool(self.halted);
+        self.frontend.save_state(w);
+        self.regs.save_state(w);
+        w.put_usize(self.commits.len());
+        for c in &self.commits {
+            c.save_state(w);
+        }
+        for v in [
+            self.stats.stall_frontend,
+            self.stats.stall_operand,
+            self.stats.stall_port,
+            self.stats.mispredicts,
+            self.stats.issued,
+        ] {
+            w.put_u64(v);
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag("INOC")?;
+        let cycle = r.take_u64()?;
+        let seq = r.take_u64()?;
+        let halted = r.take_bool()?;
+        self.frontend.restore_state(r)?;
+        self.regs.restore_state(r)?;
+        let n = r.take_usize()?;
+        self.commits.clear();
+        for _ in 0..n {
+            self.commits.push(Commit::load(r)?);
+        }
+        let mut stats = InOrderStats::default();
+        for slot in [
+            &mut stats.stall_frontend,
+            &mut stats.stall_operand,
+            &mut stats.stall_port,
+            &mut stats.mispredicts,
+            &mut stats.issued,
+        ] {
+            *slot = r.take_u64()?;
+        }
+        self.cycle = cycle;
+        self.seq = seq;
+        self.halted = halted;
+        self.stats = stats;
+        Ok(())
+    }
+
+    fn warm_boot(&mut self, regs: &[u64; NUM_REGS], pc: u64) {
+        let mut image = RegImage::new();
+        for (i, &v) in regs.iter().enumerate() {
+            if let Some(reg) = Reg::from_index(i as u8) {
+                image.write(reg, v, 0, 0);
+            }
+        }
+        self.regs = image;
+        self.halted = false;
+        self.frontend.warm_reset(pc);
+    }
+
+    fn warm_predictor(&mut self, pc: u64, inst: Inst, taken: bool, next_pc: u64) {
+        self.frontend.resolve(pc, inst, taken, next_pc);
     }
 }
 

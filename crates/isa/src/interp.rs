@@ -1,6 +1,6 @@
 use std::fmt;
 
-use crate::{Inst, Program, Reg, SparseMem, INST_BYTES, NUM_REGS};
+use crate::{Inst, Program, Reg, SnapError, SnapReader, SnapWriter, SparseMem, INST_BYTES, NUM_REGS};
 
 /// Architectural register + PC state.
 #[derive(Clone, PartialEq, Eq)]
@@ -34,6 +34,30 @@ impl ArchState {
     /// A snapshot of all 64 registers in unified-index order.
     pub fn regs(&self) -> &[u64; NUM_REGS] {
         &self.regs
+    }
+
+    /// Serializes the register file and PC.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.tag("ARCH");
+        for &v in &self.regs {
+            w.put_u64(v);
+        }
+        w.put_u64(self.pc);
+    }
+
+    /// Restores state written by [`ArchState::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on truncated or corrupt input; the state
+    /// is unspecified (but memory-safe) on error.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag("ARCH")?;
+        for v in self.regs.iter_mut() {
+            *v = r.take_u64()?;
+        }
+        self.pc = r.take_u64()?;
+        Ok(())
     }
 }
 
@@ -151,6 +175,12 @@ pub struct Interp {
     mem: SparseMem,
     halted: bool,
     retired: u64,
+    /// Text predecoded once at construction: `decoded[i]` is the
+    /// instruction at `text_base + 4*i`, or `None` for an undecodable
+    /// word. Pure memoization of the immutable `program.text` — the
+    /// per-step decode was the functional fast-forward bottleneck.
+    decoded: Vec<Option<Inst>>,
+    text_base: u64,
 }
 
 impl Interp {
@@ -159,12 +189,15 @@ impl Interp {
     pub fn new(program: &Program) -> Interp {
         let mut mem = SparseMem::new();
         program.load_into(&mut mem);
+        let decoded = program.text.iter().map(|&w| crate::decode(w).ok()).collect();
         Interp {
-            program: program.clone(),
             state: ArchState::new(program.entry),
             mem,
             halted: false,
             retired: 0,
+            decoded,
+            text_base: program.text_base,
+            program: program.clone(),
         }
     }
 
@@ -181,6 +214,11 @@ impl Interp {
     /// Mutable access to memory (for tests that poke inputs).
     pub fn mem_mut(&mut self) -> &mut SparseMem {
         &mut self.mem
+    }
+
+    /// The program being interpreted.
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 
     /// `true` once a `halt` has retired; further steps are no-ops.
@@ -214,11 +252,40 @@ impl Interp {
                 halted: true,
             });
         }
-        let inst = self
-            .program
-            .inst_at(pc)
-            .ok_or(Trap::BadPc(pc))?;
+        let inst = self.inst_fast(pc)?;
+        let (next_pc, reg_write, mem, halted) = self.dispatch(pc, inst);
+        Ok(StepEvent {
+            pc,
+            inst,
+            next_pc,
+            reg_write,
+            mem,
+            halted,
+        })
+    }
 
+    /// Predecoded-table fetch: bounds + alignment check, then a slot
+    /// read. Out-of-text and undecodable words both trap as
+    /// [`Trap::BadPc`], matching the `Program::inst_at` path this
+    /// replaced.
+    #[inline(always)]
+    fn inst_fast(&self, pc: u64) -> Result<Inst, Trap> {
+        let off = pc.wrapping_sub(self.text_base);
+        if off % INST_BYTES != 0 {
+            return Err(Trap::BadPc(pc));
+        }
+        match self.decoded.get((off / INST_BYTES) as usize) {
+            Some(&Some(inst)) => Ok(inst),
+            _ => Err(Trap::BadPc(pc)),
+        }
+    }
+
+    /// Executes one decoded instruction against the architectural state,
+    /// returning `(next_pc, reg_write, mem_effect, halted)`. Shared by
+    /// the evented [`Interp::step`] and the event-free [`Interp::run`]
+    /// hot loop so the two paths cannot diverge.
+    #[inline(always)]
+    fn dispatch(&mut self, pc: u64, inst: Inst) -> (u64, Option<(Reg, u64)>, MemEffect, bool) {
         let mut next_pc = pc.wrapping_add(INST_BYTES);
         let mut reg_write = None;
         let mut mem_effect = MemEffect::None;
@@ -307,27 +374,39 @@ impl Interp {
         self.halted = halted;
         self.retired += 1;
 
-        Ok(StepEvent {
-            pc,
-            inst,
-            next_pc,
-            reg_write,
-            mem: mem_effect,
-            halted,
-        })
+        (next_pc, reg_write, mem_effect, halted)
     }
 
     /// Runs until `halt` or until `max_steps` instructions retire.
+    ///
+    /// This is the functional fast-forward hot loop: it executes through
+    /// [`Interp::dispatch`] directly, skipping per-step [`StepEvent`]
+    /// assembly (use [`Interp::step`] when the events matter).
     ///
     /// # Errors
     ///
     /// Propagates the first [`Trap`].
     pub fn run(&mut self, max_steps: u64) -> Result<RunOutcome, Trap> {
+        if max_steps == 0 {
+            return Ok(RunOutcome {
+                stop: StopReason::StepLimit,
+                steps: 0,
+            });
+        }
+        if self.halted {
+            // A latched halt replays as a single halt step, as `step` does.
+            return Ok(RunOutcome {
+                stop: StopReason::Halt,
+                steps: 1,
+            });
+        }
         let mut steps = 0;
         while steps < max_steps {
-            let ev = self.step()?;
+            let pc = self.state.pc;
+            let inst = self.inst_fast(pc)?;
+            let (_, _, _, halted) = self.dispatch(pc, inst);
             steps += 1;
-            if ev.halted {
+            if halted {
                 return Ok(RunOutcome {
                     stop: StopReason::Halt,
                     steps,
@@ -338,6 +417,100 @@ impl Interp {
             stop: StopReason::StepLimit,
             steps,
         })
+    }
+
+    /// Runs until `halt` or until `max_steps` instructions retire,
+    /// handing every step's [`StepEvent`] to `on_step`.
+    ///
+    /// Semantically equivalent to calling [`Interp::step`] in a loop —
+    /// including replaying a single halt event when the halt is already
+    /// latched — but monomorphized over the callback, so the dispatch
+    /// loop and the observer inline into one hot loop. This is the
+    /// functional-warming path of sampled simulation: hundreds of
+    /// thousands of instructions per call, each feeding cache tags and
+    /// the branch predictor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Trap`]; steps before it have already been
+    /// observed.
+    pub fn run_traced<F: FnMut(&StepEvent)>(
+        &mut self,
+        max_steps: u64,
+        mut on_step: F,
+    ) -> Result<RunOutcome, Trap> {
+        if max_steps == 0 {
+            return Ok(RunOutcome {
+                stop: StopReason::StepLimit,
+                steps: 0,
+            });
+        }
+        if self.halted {
+            let pc = self.state.pc;
+            on_step(&StepEvent {
+                pc,
+                inst: Inst::Halt,
+                next_pc: pc,
+                reg_write: None,
+                mem: MemEffect::None,
+                halted: true,
+            });
+            return Ok(RunOutcome {
+                stop: StopReason::Halt,
+                steps: 1,
+            });
+        }
+        let mut steps = 0;
+        while steps < max_steps {
+            let pc = self.state.pc;
+            let inst = self.inst_fast(pc)?;
+            let (next_pc, reg_write, mem, halted) = self.dispatch(pc, inst);
+            steps += 1;
+            on_step(&StepEvent {
+                pc,
+                inst,
+                next_pc,
+                reg_write,
+                mem,
+                halted,
+            });
+            if halted {
+                return Ok(RunOutcome {
+                    stop: StopReason::Halt,
+                    steps,
+                });
+            }
+        }
+        Ok(RunOutcome {
+            stop: StopReason::StepLimit,
+            steps,
+        })
+    }
+
+    /// Serializes the interpreter's mutable state (registers, PC, halt
+    /// latch, retire count, memory). The program itself is *not*
+    /// serialized — restore requires an interpreter built over the same
+    /// program, which the caller validates by workload name.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.tag("INTP");
+        self.state.save_state(w);
+        w.put_bool(self.halted);
+        w.put_u64(self.retired);
+        self.mem.save_state(w);
+    }
+
+    /// Restores state written by [`Interp::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on truncated or corrupt input.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag("INTP")?;
+        self.state.restore_state(r)?;
+        self.halted = r.take_bool()?;
+        self.retired = r.take_u64()?;
+        self.mem.restore_state(r)?;
+        Ok(())
     }
 }
 

@@ -24,7 +24,7 @@
 
 use std::collections::HashSet;
 
-use sst_isa::SparseMem;
+use sst_isa::{SnapError, SnapReader, SnapWriter, SparseMem};
 use sst_obs::{Event, HostTimes, Stage, TraceBuf};
 
 use crate::cache::TagArray;
@@ -221,6 +221,77 @@ impl MemPort {
             self.useful_prefetches += 1;
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.tag("PORT");
+        self.mem.save_state(w);
+        self.l1i.save_state(w);
+        self.l1d.save_state(w);
+        self.l1i_mshr.save_state(w);
+        self.l1d_mshr.save_state(w);
+        match &self.prefetcher {
+            Some(p) => {
+                w.put_bool(true);
+                p.save_state(w);
+            }
+            None => w.put_bool(false),
+        }
+        // The residency set is written sorted so serialization is a pure
+        // function of logical state, not of hash iteration order.
+        let mut resident: Vec<u64> = self.prefetched.iter().copied().collect();
+        resident.sort_unstable();
+        w.put_usize(resident.len());
+        for b in resident {
+            w.put_u64(b);
+        }
+        put_cache_stats(w, &self.l1i_stats);
+        put_cache_stats(w, &self.l1d_stats);
+        w.put_u64(self.prefetches);
+        w.put_u64(self.useful_prefetches);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag("PORT")?;
+        self.mem.restore_state(r)?;
+        self.l1i.restore_state(r)?;
+        self.l1d.restore_state(r)?;
+        self.l1i_mshr.restore_state(r)?;
+        self.l1d_mshr.restore_state(r)?;
+        let has_prefetcher = r.take_bool()?;
+        match (&mut self.prefetcher, has_prefetcher) {
+            (Some(p), true) => p.restore_state(r)?,
+            (None, false) => {}
+            _ => {
+                return Err(SnapError::Mismatch(
+                    "prefetcher presence differs between snapshot and config".into(),
+                ));
+            }
+        }
+        let n = r.take_usize()?;
+        self.prefetched.clear();
+        for _ in 0..n {
+            self.prefetched.insert(r.take_u64()?);
+        }
+        self.l1i_stats = take_cache_stats(r)?;
+        self.l1d_stats = take_cache_stats(r)?;
+        self.prefetches = r.take_u64()?;
+        self.useful_prefetches = r.take_u64()?;
+        Ok(())
+    }
+}
+
+fn put_cache_stats(w: &mut SnapWriter, s: &CacheStats) {
+    w.put_u64(s.accesses);
+    w.put_u64(s.hits);
+    w.put_u64(s.writebacks);
+}
+
+fn take_cache_stats(r: &mut SnapReader<'_>) -> Result<CacheStats, SnapError> {
+    Ok(CacheStats {
+        accesses: r.take_u64()?,
+        hits: r.take_u64()?,
+        writebacks: r.take_u64()?,
+    })
 }
 
 /// The state every core contends on: shared L2 tags and MSHRs, the L2
@@ -283,6 +354,25 @@ impl L2Shared {
                 self.dram.writeback(at, l2_ev.addr);
             }
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.tag("L2SH");
+        self.l2.save_state(w);
+        self.l2_mshr.save_state(w);
+        w.put_u64(self.l2_port_free_at);
+        self.dram.save_state(w);
+        put_cache_stats(w, &self.l2_stats);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag("L2SH")?;
+        self.l2.restore_state(r)?;
+        self.l2_mshr.restore_state(r)?;
+        self.l2_port_free_at = r.take_u64()?;
+        self.dram.restore_state(r)?;
+        self.l2_stats = take_cache_stats(r)?;
+        Ok(())
     }
 }
 
@@ -669,6 +759,93 @@ impl MemSystem {
             }
         }
         out
+    }
+
+    // ---- snapshot / sampling support -------------------------------------------
+
+    /// Serializes the complete mutable state — every port (backing memory,
+    /// L1 tags, MSHRs, prefetcher, counters) and the shared L2/DRAM
+    /// residue — so a run can resume byte-identically on a freshly built
+    /// system of the same configuration. Observability attachments
+    /// (traces, host profiles) are excluded: they are record-only.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.tag("MEMS");
+        w.put_usize(self.ports.len());
+        for p in &self.ports {
+            p.save_state(w);
+        }
+        self.shared.save_state(w);
+    }
+
+    /// Restores state written by [`MemSystem::save_state`] on a system
+    /// built with the same configuration and core count.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncated, corrupt, or configuration-mismatched
+    /// input.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag("MEMS")?;
+        let n = r.take_usize()?;
+        if n != self.ports.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {n} memory ports, system has {}",
+                self.ports.len()
+            )));
+        }
+        for p in &mut self.ports {
+            p.restore_state(r)?;
+        }
+        self.shared.restore_state(r)
+    }
+
+    /// Warms the cache *tags* with one architecturally executed access —
+    /// no timing, no MSHRs, no statistics. Functional warming between
+    /// sampled measurement intervals drives this: the L1 (and on an L1
+    /// miss, the shared L2) observes the reference stream's fills,
+    /// recency, and dirtiness, so the next detailed interval starts with
+    /// realistic cache contents instead of a cold or stale hierarchy.
+    pub fn warm_touch(&mut self, core: usize, kind: AccessKind, addr: u64) {
+        let port = &mut self.ports[core];
+        let block = port.l1d.block_of(addr);
+        let is_fetch = kind == AccessKind::IFetch;
+        let write = kind == AccessKind::Store;
+        let l1 = if is_fetch { &mut port.l1i } else { &mut port.l1d };
+        if l1.access(block, write) {
+            return;
+        }
+        if let Some(ev) = l1.fill(block, write) {
+            if !is_fetch {
+                port.prefetched.remove(&ev.addr);
+            }
+            if ev.dirty {
+                self.shared.l2.fill(ev.addr, true);
+            }
+        }
+        if !self.shared.l2.access(block, false) {
+            self.shared.l2.fill(block, false);
+        }
+    }
+
+    /// Drops all in-flight miss state (every L1 and L2 MSHR entry),
+    /// keeping tags, counters, and DRAM bank state. The sampled driver
+    /// calls this when it teleports cores to a new architectural point:
+    /// fills issued on the abandoned path must not linger into the next
+    /// measured interval.
+    pub fn reset_timing(&mut self) {
+        for p in &mut self.ports {
+            p.l1i_mshr.clear();
+            p.l1d_mshr.clear();
+        }
+        self.shared.l2_mshr.clear();
+    }
+
+    /// Replaces `core`'s functional backing image wholesale. The sampled
+    /// driver clones the reference interpreter's memory in after
+    /// functional warming, so the detailed core executes the measured
+    /// window against the architecturally correct bytes.
+    pub fn replace_port_mem(&mut self, core: usize, mem: SparseMem) {
+        self.ports[core].mem = mem;
     }
 
     // ---- statistics -----------------------------------------------------------

@@ -30,11 +30,15 @@ mod checker;
 mod cmp;
 mod models;
 pub mod report;
+pub mod sampling;
 mod service;
+mod snapshot;
 mod system;
 
 pub use checker::{CosimError, RetireChecker};
 pub use cmp::{CmpResult, CmpSystem};
 pub use models::CoreModel;
+pub use sampling::{run_sampled, SampledResult, SamplingConfig};
 pub use service::{Lane, Request, WorkSource};
+pub use snapshot::{Snapshot, SnapshotHeader};
 pub use system::{geomean, RunResult, System, SystemTrace};

@@ -1,12 +1,13 @@
 //! Single-core simulation with warm-up accounting and optional
 //! co-simulation.
 
-use sst_isa::InstClass;
+use sst_isa::{InstClass, SnapError, SnapReader, SnapWriter, SNAPSHOT_VERSION};
 use sst_mem::{Cycle, MemConfig, MemStats, MemSystem};
 use sst_obs::{HostTimes, TraceBuf};
 use sst_uarch::Core;
 use sst_workloads::Workload;
 
+use crate::snapshot::{Snapshot, SNAPSHOT_MAGIC};
 use crate::{CoreModel, CosimError, RetireChecker};
 
 /// Result of a single-core run.
@@ -94,6 +95,12 @@ pub struct SystemTrace {
 
 /// A single core attached to its own memory hierarchy, running one
 /// workload.
+///
+/// Runs are restartable: [`System::run_insts`] advances until an
+/// instruction target, [`System::snapshot`] captures the complete run
+/// state, and [`System::resume`] rebuilds an equivalent system that
+/// continues byte-identically (the `snapshot_resume` suite pins this for
+/// every model).
 pub struct System {
     core: Box<dyn Core>,
     mem: MemSystem,
@@ -102,6 +109,12 @@ pub struct System {
     model_label: String,
     checker: Option<RetireChecker>,
     fast_forward: bool,
+    // Run accumulators. These live on the struct (not in the run loop) so
+    // a snapshot taken mid-run carries them and a resumed run reports the
+    // same totals as an uninterrupted one.
+    committed: u64,
+    warmup_cycles: Cycle,
+    inst_mix: [u64; 10],
 }
 
 impl System {
@@ -123,6 +136,9 @@ impl System {
             model_label: model.label(),
             checker: Some(RetireChecker::new(&workload.program)),
             fast_forward: true,
+            committed: 0,
+            warmup_cycles: 0,
+            inst_mix: [0; 10],
         }
     }
 
@@ -232,18 +248,45 @@ impl System {
     }
 
     fn run_inner(&mut self, max_cycles: Cycle) -> Result<RunResult, CosimError> {
-        let mut warmup_cycles = 0;
-        let mut committed = 0u64;
-        let mut inst_mix = [0u64; 10];
-        let mut tally = |inst: sst_isa::Inst| {
-            inst_mix[inst.class().index()] += 1;
-        };
+        self.run_insts(u64::MAX, max_cycles)?;
+        Ok(self.result())
+    }
 
+    fn drain(&mut self, commits: &mut Vec<sst_uarch::Commit>) -> Result<(), CosimError> {
+        self.core.drain_commits_into(commits);
+        for c in commits.drain(..) {
+            if let Some(ck) = self.checker.as_mut() {
+                ck.check(&c)?;
+            }
+            self.inst_mix[c.inst.class().index()] += 1;
+            self.committed += 1;
+            if self.committed == self.skip_insts {
+                self.warmup_cycles = self.core.cycle();
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs until at least `target_insts` total instructions have
+    /// committed, or the core halts, whichever comes first. The target is
+    /// cumulative over the whole run (a resumed system keeps counting
+    /// from the snapshot's total). Pausing here, snapshotting, and
+    /// resuming continues the run byte-identically — the pause point is
+    /// between full tick iterations, where no partial pipeline step is in
+    /// flight.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::run_checked`].
+    pub fn run_insts(&mut self, target_insts: u64, max_cycles: Cycle) -> Result<(), CosimError> {
         let mut commits = Vec::new();
         while !self.core.halted() {
+            if self.committed >= target_insts {
+                return Ok(());
+            }
             if self.core.cycle() >= max_cycles {
                 return Err(CosimError {
-                    at: committed,
+                    at: self.committed,
                     what: format!(
                         "{} on {} did not halt within {max_cycles} cycles",
                         self.model_label, self.workload_name
@@ -251,17 +294,7 @@ impl System {
                 });
             }
             self.core.tick(&mut self.mem.bus(0));
-            self.core.drain_commits_into(&mut commits);
-            for c in commits.drain(..) {
-                if let Some(ck) = self.checker.as_mut() {
-                    ck.check(&c)?;
-                }
-                tally(c.inst);
-                committed += 1;
-                if committed == self.skip_insts {
-                    warmup_cycles = self.core.cycle();
-                }
-            }
+            self.drain(&mut commits)?;
             if self.fast_forward && !self.core.halted() {
                 // Bulk-skip provably idle cycles. Clamping to `max_cycles`
                 // keeps the timeout check above firing at the same cycle
@@ -273,22 +306,29 @@ impl System {
             }
         }
         // Drain any commits recorded in the final tick.
-        self.core.drain_commits_into(&mut commits);
-        for c in commits.drain(..) {
-            if let Some(ck) = self.checker.as_mut() {
-                ck.check(&c)?;
-            }
-            tally(c.inst);
-            committed += 1;
-        }
+        self.drain(&mut commits)
+    }
 
-        Ok(RunResult {
+    /// Total instructions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// `true` once the core has retired its `halt`.
+    pub fn halted(&self) -> bool {
+        self.core.halted()
+    }
+
+    /// Assembles the [`RunResult`] for the run so far (normally called
+    /// once the core has halted).
+    pub fn result(&self) -> RunResult {
+        RunResult {
             model: self.model_label.clone(),
             workload: self.workload_name.to_string(),
             cycles: self.core.cycle(),
-            insts: committed,
-            warmup_cycles,
-            warmup_insts: self.skip_insts.min(committed),
+            insts: self.committed,
+            warmup_cycles: self.warmup_cycles,
+            warmup_insts: self.skip_insts.min(self.committed),
             mem: self.mem.stats(),
             counters: self
                 .core
@@ -296,7 +336,7 @@ impl System {
                 .into_iter()
                 .map(|(n, v)| (n.to_string(), v))
                 .collect(),
-            inst_mix,
+            inst_mix: self.inst_mix,
             phases: self
                 .core
                 .phases()
@@ -304,7 +344,115 @@ impl System {
                 .into_iter()
                 .map(|(n, v)| (n.to_string(), v))
                 .collect(),
-        })
+        }
+    }
+
+    /// Captures the complete run state — accumulators, co-simulation
+    /// checker, core timing state, and the full memory hierarchy — as a
+    /// versioned [`Snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Unsupported`] if the core model does not implement
+    /// state capture (all stock models do).
+    pub fn snapshot(&self) -> Result<Snapshot, SnapError> {
+        let mut w = SnapWriter::new();
+        w.tag(SNAPSHOT_MAGIC);
+        w.put_u32(SNAPSHOT_VERSION);
+        w.put_str(&self.model_label);
+        w.put_str(self.workload_name);
+        w.put_u64(self.skip_insts);
+        w.put_u64(self.committed);
+        w.put_u64(self.warmup_cycles);
+        for &n in &self.inst_mix {
+            w.put_u64(n);
+        }
+        match &self.checker {
+            Some(ck) => {
+                w.put_bool(true);
+                ck.save_state(&mut w);
+            }
+            None => w.put_bool(false),
+        }
+        self.core.save_state(&mut w)?;
+        self.mem.save_state(&mut w);
+        Ok(Snapshot::from_bytes(w.into_bytes()))
+    }
+
+    /// Rebuilds a system from a [`Snapshot`] with the default memory
+    /// configuration. See [`System::resume_with_mem`].
+    ///
+    /// # Errors
+    ///
+    /// As [`System::resume_with_mem`].
+    pub fn resume(model: CoreModel, workload: &Workload, snap: &Snapshot) -> Result<System, SnapError> {
+        System::resume_with_mem(model, workload, &MemConfig::default(), snap)
+    }
+
+    /// Rebuilds a system from a [`Snapshot`], continuing the run exactly
+    /// where [`System::snapshot`] left it. The caller supplies the same
+    /// model, workload, and memory configuration the snapshot was taken
+    /// under; model and workload are validated against the snapshot
+    /// header, and the restored core/memory state is validated
+    /// structurally against the rebuilt configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Mismatch`] when the model or workload disagrees with
+    /// the header; [`SnapError::Corrupt`] on truncated or damaged bytes.
+    pub fn resume_with_mem(
+        model: CoreModel,
+        workload: &Workload,
+        mem_cfg: &MemConfig,
+        snap: &Snapshot,
+    ) -> Result<System, SnapError> {
+        let mut sys = System::with_mem(model, workload, mem_cfg);
+        let mut r = SnapReader::new(snap.as_bytes());
+        r.tag(SNAPSHOT_MAGIC)?;
+        let version = r.take_u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot version {version}, this build reads {SNAPSHOT_VERSION}"
+            )));
+        }
+        let model_label = r.take_str()?;
+        if model_label != sys.model_label {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot of model '{model_label}', resuming as '{}'",
+                sys.model_label
+            )));
+        }
+        let workload_name = r.take_str()?;
+        if workload_name != sys.workload_name {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot of workload '{workload_name}', resuming on '{}'",
+                sys.workload_name
+            )));
+        }
+        let skip_insts = r.take_u64()?;
+        if skip_insts != sys.skip_insts {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot warm-up window {skip_insts}, workload has {}",
+                sys.skip_insts
+            )));
+        }
+        sys.committed = r.take_u64()?;
+        sys.warmup_cycles = r.take_u64()?;
+        for n in sys.inst_mix.iter_mut() {
+            *n = r.take_u64()?;
+        }
+        if r.take_bool()? {
+            sys.checker
+                .as_mut()
+                .expect("with_mem always builds a checker")
+                .restore_state(&mut r)?;
+        } else {
+            sys.checker = None;
+        }
+        sys.core.restore_state(&mut r)?;
+        sys.mem.restore_state(&mut r)?;
+        r.finish()?;
+        Ok(sys)
     }
 
     /// Convenience: build + run one (model, workload) pair, panicking on

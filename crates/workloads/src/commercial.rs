@@ -36,6 +36,15 @@ pub fn oltp(scale: Scale, seed: u64, slot: usize) -> Workload {
     oltp_build(scale, seed, slot, txns, (txns as u64 / 10) * OLTP_TXN_INSTS)
 }
 
+/// OLTP with an explicit transaction count, for runs that need a
+/// specific instruction budget (the sampling benchmark runs ~10M
+/// instructions, far beyond the standard `Full` sizing). Keeps the
+/// standard warm-up convention: the first 10% of transactions are
+/// marked as skip instructions.
+pub fn oltp_sized(scale: Scale, seed: u64, slot: usize, txns: i64) -> Workload {
+    oltp_build(scale, seed, slot, txns, (txns as u64 / 10) * OLTP_TXN_INSTS)
+}
+
 /// The endless-loop OLTP variant for the service driver (`sst-traffic`).
 pub fn oltp_server(scale: Scale, seed: u64, slot: usize) -> Workload {
     oltp_build(scale, seed, slot, SERVER_TXNS, 0)

@@ -33,6 +33,7 @@ mod gadgets;
 mod micro;
 mod spec;
 
+pub use commercial::oltp_sized;
 pub use gadgets::gadget_names;
 
 use sst_isa::Program;
